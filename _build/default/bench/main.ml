@@ -1,0 +1,141 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation section (printed as tables with the paper's reference
+   numbers inlined) and then times the compilation kernels of each
+   figure's workload with Bechamel.
+
+   Scale via QAOA_BENCH_SCALE = smoke | default | full. *)
+
+module Figures = Qaoa_experiments.Figures
+module Workload = Qaoa_experiments.Workload
+module Compile = Qaoa_core.Compile
+module Topologies = Qaoa_hardware.Topologies
+module Device = Qaoa_hardware.Device
+module Rng = Qaoa_util.Rng
+open Bechamel
+open Toolkit
+
+(* One compile kernel per figure/table: the operation each experiment's
+   wall-clock is dominated by. *)
+let kernels () =
+  let params = Workload.default_params in
+  let tokyo = Topologies.ibmq_20_tokyo () in
+  let tokyo_cal =
+    Device.with_random_calibration (Rng.create 5) (Topologies.ibmq_20_tokyo ())
+  in
+  let melbourne = Topologies.ibmq_16_melbourne () in
+  let grid = Topologies.grid_6x6 () in
+  let ring8 = Topologies.ring 8 in
+  let problem_of device kind n seed =
+    let _ = device in
+    List.hd (Workload.problems (Rng.create seed) kind ~n ~count:1)
+  in
+  let compile_test ~name ~device ~strategy problem =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Compile.compile ~strategy device problem params)))
+  in
+  let p20 = problem_of tokyo (Workload.Erdos_renyi 0.5) 20 101 in
+  let p20r3 = problem_of tokyo (Workload.Regular 3) 20 102 in
+  let p15 = problem_of melbourne (Workload.Erdos_renyi 0.5) 14 103 in
+  let p36 = problem_of grid (Workload.Regular 15) 36 104 in
+  let p8 = problem_of ring8 (Workload.Gnm 8) 8 105 in
+  [
+    (* Fig. 7/8: initial-mapping strategies *)
+    compile_test ~name:"fig7-naive-er05-tokyo" ~device:tokyo
+      ~strategy:Compile.Naive p20;
+    compile_test ~name:"fig7-qaim-er05-tokyo" ~device:tokyo
+      ~strategy:Compile.Qaim p20;
+    compile_test ~name:"fig8-qaim-3reg-tokyo" ~device:tokyo
+      ~strategy:Compile.Qaim p20r3;
+    (* Fig. 9: schedulers *)
+    compile_test ~name:"fig9-ip-er05-tokyo" ~device:tokyo ~strategy:Compile.Ip
+      p20;
+    compile_test ~name:"fig9-ic-er05-tokyo" ~device:tokyo
+      ~strategy:(Compile.Ic None) p20;
+    (* Fig. 10 / 11: variation-aware compilation *)
+    compile_test ~name:"fig10-vic-er05-melbourne" ~device:melbourne
+      ~strategy:(Compile.Vic None) p15;
+    compile_test ~name:"fig11a-vic-er05-tokyo" ~device:tokyo_cal
+      ~strategy:(Compile.Vic None) p20;
+    (* Fig. 12: packing limit on the 36-qubit grid *)
+    compile_test ~name:"fig12-ic-limit11-grid36" ~device:grid
+      ~strategy:(Compile.Ic (Some 11)) p36;
+    compile_test ~name:"fig12-ic-unlimited-grid36" ~device:grid
+      ~strategy:(Compile.Ic None) p36;
+    (* Sec. VI ring-8 comparison *)
+    compile_test ~name:"ring8-ic" ~device:ring8 ~strategy:(Compile.Ic None) p8;
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"compile" (kernels ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline "\n=== Bechamel: per-compile wall time (monotonic clock) ===";
+  let t = Qaoa_util.Table.create [ "kernel"; "time/compile (ms)" ] in
+  List.iter
+    (fun (name, ns) ->
+      Qaoa_util.Table.add_float_row t name [ ns /. 1e6 ])
+    rows;
+  Qaoa_util.Table.print t
+
+let () =
+  let scale = Figures.scale_from_env () in
+  Printf.printf
+    "QAOA circuit-compilation benchmark harness (scale=%s; set \
+     QAOA_BENCH_SCALE=smoke|default|full)\n"
+    (Figures.scale_name scale);
+  let t0 = Sys.time () in
+  let figures = Figures.all ~scale () in
+  Printf.printf "\nfigures regenerated in %.1f CPU s\n" (Sys.time () -. t0);
+  let t1 = Sys.time () in
+  let ablations = Qaoa_experiments.Ablations.all ~scale () in
+  Printf.printf "\nablations regenerated in %.1f CPU s\n" (Sys.time () -. t1);
+  (* plot-ready CSVs alongside the printed tables *)
+  let dir = "bench_results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let named prefix rows_list =
+    List.map (fun (name, rows) -> (prefix ^ name, [], rows)) rows_list
+  in
+  (* column headers are embedded in the printed tables; the CSVs carry
+     generic value columns sized per figure *)
+  let with_columns =
+    List.map
+      (fun (name, _, rows) ->
+        let width =
+          List.fold_left (fun acc (_, vs) -> max acc (List.length vs)) 0 rows
+        in
+        (name, List.init width (fun i -> Printf.sprintf "v%d" i), rows))
+      (named "" figures @ named "ablation_" ablations)
+  in
+  let paths = Qaoa_experiments.Export.export_all ~dir with_columns in
+  Printf.printf "\nwrote %d CSV files under %s/\n" (List.length paths) dir;
+  let sections =
+    List.map
+      (fun (id, rows) -> Qaoa_experiments.Report.section_of_rows ~scale id rows)
+      (figures @ ablations)
+  in
+  Qaoa_experiments.Report.write
+    ~path:(Filename.concat dir "report.md")
+    ~scale sections;
+  Printf.printf "wrote %s/report.md\n" dir;
+  run_bechamel ()

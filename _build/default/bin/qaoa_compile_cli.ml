@@ -1,0 +1,157 @@
+(* qaoa-compile: compile one QAOA-MaxCut instance for a target device
+   with a chosen strategy and report circuit quality (optionally dumping
+   OpenQASM).
+
+   Examples:
+     qaoa-compile --device tokyo --strategy ic --nodes 16 --kind regular:3
+     qaoa-compile --device melbourne --strategy vic --nodes 12 \
+                  --kind er:0.5 --seed 7 --qasm *)
+
+module Compile = Qaoa_core.Compile
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Metrics = Qaoa_circuit.Metrics
+module Topologies = Qaoa_hardware.Topologies
+module Device = Qaoa_hardware.Device
+module Generators = Qaoa_graph.Generators
+module Rng = Qaoa_util.Rng
+open Cmdliner
+
+type kind = Er of float | Regular of int
+
+let parse_kind s =
+  match String.split_on_char ':' s with
+  | [ "er"; p ] -> (
+    match float_of_string_opt p with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Er p)
+    | _ -> Error (`Msg "er:<p> expects 0 <= p <= 1"))
+  | [ "regular"; d ] -> (
+    match int_of_string_opt d with
+    | Some d when d >= 1 -> Ok (Regular d)
+    | _ -> Error (`Msg "regular:<d> expects d >= 1"))
+  | _ -> Error (`Msg "expected er:<p> or regular:<d>")
+
+let kind_conv =
+  Arg.conv
+    ( parse_kind,
+      fun ppf -> function
+        | Er p -> Format.fprintf ppf "er:%g" p
+        | Regular d -> Format.fprintf ppf "regular:%d" d )
+
+let strategy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Compile.strategy_of_string s with
+        | Some st -> Ok st
+        | None ->
+          Error (`Msg "expected naive | greedyv | greedye | qaim | ip | ic | vic")),
+      fun ppf s -> Format.pp_print_string ppf (Compile.strategy_name s) )
+
+let device_conv =
+  Arg.conv
+    ( (fun s ->
+        match Topologies.by_name s with
+        | Some d -> Ok d
+        | None ->
+          Error
+            (`Msg
+               ("unknown device; known: "
+               ^ String.concat ", " Topologies.known_names))),
+      fun ppf (d : Device.t) -> Format.pp_print_string ppf d.Device.name )
+
+let run device strategy nodes kind seed p gamma beta packing_limit qasm =
+  let rng = Rng.create seed in
+  let graph =
+    match kind with
+    | Er prob -> Generators.erdos_renyi rng ~n:nodes ~p:prob
+    | Regular d -> Generators.random_regular rng ~n:nodes ~d
+  in
+  let problem = Problem.of_maxcut graph in
+  let params =
+    {
+      Ansatz.gammas = Array.make p gamma;
+      betas = Array.make p beta;
+    }
+  in
+  let strategy =
+    match (strategy, packing_limit) with
+    | Compile.Ic _, Some l -> Compile.Ic (Some l)
+    | Compile.Vic _, Some l -> Compile.Vic (Some l)
+    | s, _ -> s
+  in
+  let options = { Compile.default_options with seed } in
+  let result = Compile.compile ~options ~strategy device problem params in
+  Printf.printf "device:    %s (%d qubits)\n" device.Device.name
+    (Device.num_qubits device);
+  Printf.printf "problem:   %d-node MaxCut, %d edges, p=%d\n" nodes
+    (Qaoa_graph.Graph.num_edges graph)
+    p;
+  Printf.printf "strategy:  %s (seed %d)\n" (Compile.strategy_name strategy) seed;
+  Printf.printf "depth:     %d\n" result.Compile.metrics.Metrics.depth;
+  Printf.printf "gates:     %d (%d CNOT)\n"
+    result.Compile.metrics.Metrics.gate_count
+    result.Compile.metrics.Metrics.two_qubit_count;
+  Printf.printf "swaps:     %d\n" result.Compile.swap_count;
+  Printf.printf "time:      %.4f s\n" result.Compile.compile_time;
+  (match device.Device.calibration with
+  | Some _ ->
+    Printf.printf "success:   %.3e\n" (Compile.success_probability device result)
+  | None -> ());
+  if qasm then begin
+    print_endline "--- OpenQASM 2.0 ---";
+    print_string (Qaoa_circuit.Qasm.to_string result.Compile.circuit)
+  end;
+  0
+
+let cmd =
+  let device =
+    Arg.(
+      value
+      & opt device_conv (Topologies.ibmq_20_tokyo ())
+      & info [ "device" ] ~docv:"NAME"
+          ~doc:"Target device (tokyo, melbourne, grid6x6, linear<N>, ring<N>).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv (Compile.Ic None)
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:"Compilation strategy: naive, greedyv, greedye, qaim, ip, ic, vic.")
+  in
+  let nodes =
+    Arg.(value & opt int 12 & info [ "nodes"; "n" ] ~doc:"Problem graph size.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv (Regular 3)
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Graph family: er:<p> or regular:<d>.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let p = Arg.(value & opt int 1 & info [ "p" ] ~doc:"QAOA levels.") in
+  let gamma =
+    Arg.(value & opt float 0.7 & info [ "gamma" ] ~doc:"Cost-layer angle.")
+  in
+  let beta =
+    Arg.(value & opt float 0.4 & info [ "beta" ] ~doc:"Mixer-layer angle.")
+  in
+  let packing_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "packing-limit" ] ~doc:"Max CPHASE gates per IC/VIC layer.")
+  in
+  let qasm =
+    Arg.(value & flag & info [ "qasm" ] ~doc:"Print the compiled OpenQASM 2.0.")
+  in
+  let term =
+    Term.(
+      const run $ device $ strategy $ nodes $ kind $ seed $ p $ gamma $ beta
+      $ packing_limit $ qasm)
+  in
+  Cmd.v
+    (Cmd.info "qaoa-compile" ~version:"1.0.0"
+       ~doc:"Compile QAOA-MaxCut circuits with QAIM/IP/IC/VIC (MICRO'20)")
+    term
+
+let () = exit (Cmd.eval' cmd)

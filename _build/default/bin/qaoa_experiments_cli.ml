@@ -1,0 +1,76 @@
+(* qaoa-experiments: regenerate a chosen table/figure of the paper's
+   evaluation section.
+
+   Examples:
+     qaoa-experiments --figure fig9 --scale default
+     qaoa-experiments --figure all --scale full *)
+
+module Figures = Qaoa_experiments.Figures
+open Cmdliner
+
+let figures =
+  [
+    ("fig7", fun ~scale -> ignore (Figures.fig7 ~scale ()));
+    ("fig8", fun ~scale -> ignore (Figures.fig8 ~scale ()));
+    ("fig9", fun ~scale -> ignore (Figures.fig9 ~scale ()));
+    ("fig10", fun ~scale -> ignore (Figures.fig10 ~scale ()));
+    ("fig11a", fun ~scale -> ignore (Figures.fig11a ~scale ()));
+    ("fig11b", fun ~scale -> ignore (Figures.fig11b ~scale ()));
+    ("fig12", fun ~scale -> ignore (Figures.fig12 ~scale ()));
+    ("ring8", fun ~scale -> ignore (Figures.fig_ring8 ~scale ()));
+  ]
+
+let figure_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    if s = "all" then Ok `All
+    else
+      match List.assoc_opt s figures with
+      | Some f -> Ok (`One f)
+      | None ->
+        Error
+          (`Msg
+             ("unknown figure; known: all, "
+             ^ String.concat ", " (List.map fst figures)))
+  in
+  let print ppf = function
+    | `All -> Format.pp_print_string ppf "all"
+    | `One _ -> Format.pp_print_string ppf "<figure>"
+  in
+  Arg.conv (parse, print)
+
+let scale_conv =
+  Arg.conv
+    ( (fun s ->
+        match Figures.scale_of_string s with
+        | Some sc -> Ok sc
+        | None -> Error (`Msg "expected smoke | default | full")),
+      fun ppf s -> Format.pp_print_string ppf (Figures.scale_name s) )
+
+let run figure scale =
+  (match figure with
+  | `All -> ignore (Figures.all ~scale ())
+  | `One f -> f ~scale);
+  0
+
+let cmd =
+  let figure =
+    Arg.(
+      value
+      & opt figure_conv `All
+      & info [ "figure"; "f" ] ~docv:"ID"
+          ~doc:"Which experiment to run (fig7..fig12, ring8, all).")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt scale_conv Figures.Default
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Instance-count scale: smoke, default or full (paper-scale).")
+  in
+  Cmd.v
+    (Cmd.info "qaoa-experiments" ~version:"1.0.0"
+       ~doc:"Regenerate the MICRO'20 QAOA-compilation evaluation figures")
+    Term.(const run $ figure $ scale)
+
+let () = exit (Cmd.eval' cmd)

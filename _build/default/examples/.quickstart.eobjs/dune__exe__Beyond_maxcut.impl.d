@@ -1,0 +1,1 @@
+examples/beyond_maxcut.ml: Array Float List Printf Qaoa_circuit Qaoa_core Qaoa_hardware Qaoa_sim Qaoa_util String

@@ -1,0 +1,1 @@
+examples/classical_vs_quantum.ml: Hashtbl List Option Printf Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+examples/maxcut_pipeline.ml: Array Float List Printf Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

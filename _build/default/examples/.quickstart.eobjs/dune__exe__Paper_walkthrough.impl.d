@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Array List Printf Qaoa_backend Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

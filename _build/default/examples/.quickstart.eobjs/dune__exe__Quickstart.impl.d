@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+examples/variation_aware.ml: Format Printf Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+examples/variation_aware.mli:

@@ -1,0 +1,74 @@
+(* Beyond MaxCut (paper Sec. VI "Applicability beyond QAOA-MaxCut"):
+   any Ising-form cost Hamiltonian - weighted ZZ couplings plus linear
+   Z fields - compiles through the exact same pipeline.  This example
+   encodes a small weighted Max-Cut-with-bias problem (equivalently a
+   QUBO), optimizes its p=2 parameters on the simulator, compiles with
+   IC, and verifies the sampled solutions against brute force.
+
+   Run with:  dune exec examples/beyond_maxcut.exe *)
+
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Optimizer = Qaoa_core.Optimizer
+module Compile = Qaoa_core.Compile
+module Topologies = Qaoa_hardware.Topologies
+module Statevector = Qaoa_sim.Statevector
+module Sampler = Qaoa_sim.Sampler
+module Rng = Qaoa_util.Rng
+
+let () =
+  (* An 8-variable Ising objective: weighted couplings J_ij, fields h_i.
+     QAOA maximizes C(s) = const + sum h_i s_i + sum J_ij s_i s_j. *)
+  let problem =
+    Problem.create ~num_vars:8
+      ~linear:[ (0, 0.5); (3, -0.8); (6, 0.3) ]
+      ~constant:4.0
+      [
+        (0, 1, -1.0); (1, 2, -0.5); (2, 3, -1.5); (3, 4, -0.7);
+        (4, 5, -1.2); (5, 6, -0.4); (6, 7, -1.0); (0, 7, -0.6);
+        (1, 5, -0.9); (2, 6, -0.3);
+      ]
+  in
+  let best_bits, best_cost = Problem.brute_force_best problem in
+  Printf.printf "Ising instance: 8 vars, %d couplings, %d fields\n"
+    (List.length problem.Problem.quadratic)
+    (List.length problem.Problem.linear);
+  Printf.printf "brute-force optimum: cost %.2f at bitstring 0b%s\n\n" best_cost
+    (String.init 8 (fun i -> if best_bits land (1 lsl (7 - i)) <> 0 then '1' else '0'));
+
+  (* p=2 parameters by multistart Nelder-Mead on the exact expectation. *)
+  let rng = Rng.create 11 in
+  let params, value =
+    Optimizer.optimize_params rng ~p:2 (fun params ->
+        Ansatz.expectation problem params)
+  in
+  Printf.printf "optimized p=2 ansatz: <C> = %.3f (%.0f%% of optimum)\n\n" value
+    (100.0 *. value /. best_cost);
+
+  (* Compile for melbourne with IC: the RZ gates of the linear terms ride
+     along with the CPHASE layers. *)
+  let device = Topologies.ibmq_16_melbourne () in
+  let r = Compile.compile ~strategy:(Compile.Ic None) device problem params in
+  Printf.printf "compiled for %s: depth %d, %d native gates, %d SWAPs\n\n"
+    device.Qaoa_hardware.Device.name r.Compile.metrics.Qaoa_circuit.Metrics.depth
+    r.Compile.metrics.Qaoa_circuit.Metrics.gate_count r.Compile.swap_count;
+
+  (* Sample the compiled circuit (noiselessly) and score the outcomes. *)
+  let sv = Statevector.of_circuit r.Compile.circuit in
+  let samples = Sampler.sample_many (Rng.create 3) sv ~shots:2048 in
+  let costs =
+    Array.map
+      (fun physical ->
+        Problem.cost problem (Compile.logical_outcome r physical))
+      samples
+  in
+  let mean = Qaoa_util.Stats.mean_array costs in
+  let hit =
+    Array.fold_left
+      (fun acc c -> if Float.abs (c -. best_cost) < 1e-9 then acc + 1 else acc)
+      0 costs
+  in
+  Printf.printf "sampled 2048 shots: mean cost %.3f (ratio %.3f), optimum hit %d times\n"
+    mean (mean /. best_cost) hit;
+  Printf.printf "mean cost agrees with <C> up to sampling error: |%.3f - %.3f| = %.3f\n"
+    mean value (Float.abs (mean -. value))

@@ -1,0 +1,1 @@
+lib/backend/compliance.ml: Format List Qaoa_circuit Qaoa_hardware

@@ -1,0 +1,1 @@
+lib/backend/compliance.mli: Qaoa_circuit Qaoa_hardware

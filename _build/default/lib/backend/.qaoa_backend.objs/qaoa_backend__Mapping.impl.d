@@ -1,0 +1,1 @@
+lib/backend/mapping.ml: Array Format Option Qaoa_util

@@ -1,0 +1,1 @@
+lib/backend/mapping.mli: Format Qaoa_util

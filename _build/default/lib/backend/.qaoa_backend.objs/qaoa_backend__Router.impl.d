@@ -1,0 +1,1 @@
+lib/backend/router.ml: Float Int List Mapping Option Qaoa_circuit Qaoa_graph Qaoa_hardware Qaoa_util Set

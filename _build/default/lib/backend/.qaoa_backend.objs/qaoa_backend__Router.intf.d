@@ -1,0 +1,1 @@
+lib/backend/router.mli: Mapping Qaoa_circuit Qaoa_hardware

@@ -1,0 +1,1 @@
+lib/backend/sabre.ml: Array Float Int List Mapping Qaoa_circuit Qaoa_graph Qaoa_hardware Qaoa_util Router Set

@@ -1,0 +1,1 @@
+lib/backend/sabre.mli: Mapping Qaoa_circuit Qaoa_hardware Router

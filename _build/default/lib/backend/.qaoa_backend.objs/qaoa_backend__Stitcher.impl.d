@@ -1,0 +1,1 @@
+lib/backend/stitcher.ml: List Qaoa_circuit Router

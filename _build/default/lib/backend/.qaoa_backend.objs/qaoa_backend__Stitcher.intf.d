@@ -1,0 +1,1 @@
+lib/backend/stitcher.mli: Qaoa_circuit Router

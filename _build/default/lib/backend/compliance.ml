@@ -1,0 +1,31 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Device = Qaoa_hardware.Device
+
+type violation = { gate_index : int; gate : Gate.t }
+
+let violations device circuit =
+  let _, acc =
+    List.fold_left
+      (fun (i, acc) g ->
+        let bad =
+          Gate.is_two_qubit g
+          &&
+          match Gate.qubits g with
+          | [ a; b ] -> not (Device.coupled device a b)
+          | _ -> false
+        in
+        (i + 1, if bad then { gate_index = i; gate = g } :: acc else acc))
+      (0, []) (Circuit.gates circuit)
+  in
+  List.rev acc
+
+let is_compliant device circuit = violations device circuit = []
+
+let check_exn device circuit =
+  match violations device circuit with
+  | [] -> ()
+  | { gate_index; gate } :: _ ->
+    failwith
+      (Format.asprintf "coupling violation at gate %d: %a on %s" gate_index
+         Gate.pp gate device.Device.name)

@@ -1,0 +1,15 @@
+(** Coupling-constraint validation of compiled circuits.
+
+    Used as a router post-condition in tests and assertions: every
+    two-qubit gate of a hardware-compliant circuit must act on a coupled
+    physical pair. *)
+
+type violation = { gate_index : int; gate : Qaoa_circuit.Gate.t }
+
+val violations : Qaoa_hardware.Device.t -> Qaoa_circuit.Circuit.t -> violation list
+(** Two-qubit gates on uncoupled pairs, in program order. *)
+
+val is_compliant : Qaoa_hardware.Device.t -> Qaoa_circuit.Circuit.t -> bool
+
+val check_exn : Qaoa_hardware.Device.t -> Qaoa_circuit.Circuit.t -> unit
+(** @raise Failure describing the first violation, if any. *)

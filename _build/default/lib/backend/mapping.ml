@@ -1,0 +1,55 @@
+type t = { l2p : int array; p2l : int array }
+
+let of_array ~num_physical l2p =
+  let k = Array.length l2p in
+  if k > num_physical then
+    invalid_arg "Mapping.of_array: more logical than physical qubits";
+  let p2l = Array.make num_physical (-1) in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= num_physical then
+        invalid_arg "Mapping.of_array: physical qubit out of range";
+      if p2l.(p) <> -1 then invalid_arg "Mapping.of_array: duplicate target";
+      p2l.(p) <- l)
+    l2p;
+  { l2p = Array.copy l2p; p2l }
+
+let trivial ~num_logical ~num_physical =
+  of_array ~num_physical (Array.init num_logical (fun i -> i))
+
+let random rng ~num_logical ~num_physical =
+  let perm = Qaoa_util.Rng.permutation rng num_physical in
+  of_array ~num_physical (Array.sub perm 0 num_logical)
+
+let num_logical t = Array.length t.l2p
+let num_physical t = Array.length t.p2l
+
+let phys t l =
+  if l < 0 || l >= Array.length t.l2p then
+    invalid_arg "Mapping.phys: logical qubit out of range";
+  t.l2p.(l)
+
+let logical_at t p =
+  if p < 0 || p >= Array.length t.p2l then
+    invalid_arg "Mapping.logical_at: physical qubit out of range";
+  if t.p2l.(p) = -1 then None else Some t.p2l.(p)
+
+let is_allocated t p = Option.is_some (logical_at t p)
+
+let swap_physical t p q =
+  let l2p = Array.copy t.l2p and p2l = Array.copy t.p2l in
+  let lp = p2l.(p) and lq = p2l.(q) in
+  p2l.(p) <- lq;
+  p2l.(q) <- lp;
+  if lp <> -1 then l2p.(lp) <- q;
+  if lq <> -1 then l2p.(lq) <- p;
+  { l2p; p2l }
+
+let to_alist t = Array.to_list (Array.mapi (fun l p -> (l, p)) t.l2p)
+let l2p_array t = Array.copy t.l2p
+let equal a b = a.l2p = b.l2p && a.p2l = b.p2l
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  Array.iteri (fun l p -> Format.fprintf ppf " q%d->%d" l p) t.l2p;
+  Format.fprintf ppf " }"

@@ -1,0 +1,45 @@
+(** Logical-to-physical qubit mappings.
+
+    An injective assignment of [k] logical (program) qubits to [n >= k]
+    physical (hardware) qubits.  Mappings are persistent values; SWAP
+    insertion produces updated copies, which lets incremental compilation
+    snapshot the mapping at every layer boundary (Fig. 5's "Qubit Mapping
+    at layer i" columns). *)
+
+type t
+
+val of_array : num_physical:int -> int array -> t
+(** [of_array ~num_physical l2p] maps logical [i] to [l2p.(i)].
+    @raise Invalid_argument unless entries are distinct and within
+    [0..num_physical-1]. *)
+
+val trivial : num_logical:int -> num_physical:int -> t
+(** Logical [i] on physical [i]. *)
+
+val random : Qaoa_util.Rng.t -> num_logical:int -> num_physical:int -> t
+(** Uniform injection - the NAIVE initial mapping. *)
+
+val num_logical : t -> int
+val num_physical : t -> int
+
+val phys : t -> int -> int
+(** Physical location of a logical qubit. *)
+
+val logical_at : t -> int -> int option
+(** Logical qubit hosted by a physical qubit, if any. *)
+
+val is_allocated : t -> int -> bool
+(** Does the physical qubit host a logical qubit? *)
+
+val swap_physical : t -> int -> int -> t
+(** Exchange the contents of two physical qubits (either may be empty) -
+    the mapping update a SWAP gate induces. *)
+
+val to_alist : t -> (int * int) list
+(** [(logical, physical)] pairs sorted by logical index. *)
+
+val l2p_array : t -> int array
+(** Copy of the logical-to-physical table. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

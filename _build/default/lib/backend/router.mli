@@ -1,0 +1,63 @@
+(** Layer-partitioned greedy SWAP-insertion router - the backend compiler
+    standing in for qiskit (see DESIGN.md, substitution 1).
+
+    The algorithm follows the structure the paper ascribes to conventional
+    compilers (Sec. III "SWAP Insertion"): the logical circuit is
+    partitioned into layers of concurrently executable gates, and SWAPs
+    are inserted until the layer's two-qubit gates act on coupled
+    physical pairs.  Within a layer, each gate is emitted as soon as its
+    pair becomes coupled (gates of a layer touch disjoint qubits, so
+    emission order does not change semantics, and the ASAP re-layering of
+    the output recovers the parallelism).  SWAP selection is greedy:
+    among the coupling edges touching a qubit of a pending gate, apply
+    the swap that strictly decreases the summed distance of pending
+    pairs (ties broken by a lookahead term over the next layer, then by
+    seeded randomness); when no swap strictly improves, the closest
+    pending pair takes one step along a hop-shortest path.  A safety
+    budget bounds the loop, past which pending gates are routed one at a
+    time - so routing always terminates.
+
+    The compiled circuit acts on physical qubit indices; the result carries
+    the final logical-to-physical mapping so callers can interpret
+    measurement outcomes (or stitch further partial circuits - the IC/VIC
+    use case). *)
+
+type config = {
+  lookahead_weight : float;
+      (** Weight of next-layer distances in tie-breaking (default 0.5). *)
+  reliability_aware : bool;
+      (** Score swaps with the calibration-weighted distance matrix
+          (VQM-style router extension; default false = hop distances). *)
+  seed : int;  (** Tie-break randomness seed (default 17). *)
+}
+
+val default_config : config
+
+type result = {
+  circuit : Qaoa_circuit.Circuit.t;
+      (** Hardware-compliant circuit on physical qubits (CPHASE/SWAP not
+          yet decomposed; use {!Qaoa_circuit.Decompose} for native form). *)
+  final_mapping : Mapping.t;
+  swap_count : int;  (** SWAP gates inserted. *)
+}
+
+val route :
+  ?config:config ->
+  device:Qaoa_hardware.Device.t ->
+  initial:Mapping.t ->
+  Qaoa_circuit.Circuit.t ->
+  result
+(** [route ~device ~initial circuit] compiles the logical [circuit].
+    @raise Invalid_argument if the mapping's logical count is smaller than
+    the circuit's qubit count, or if the coupling graph cannot connect the
+    allocated qubits. *)
+
+val route_layers :
+  ?config:config ->
+  device:Qaoa_hardware.Device.t ->
+  initial:Mapping.t ->
+  num_logical:int ->
+  Qaoa_circuit.Gate.t list list ->
+  result
+(** Lower-level entry point taking pre-formed layers (IP and IC build
+    their own layers rather than re-deriving them by ASAP scheduling). *)

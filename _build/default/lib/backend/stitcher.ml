@@ -1,0 +1,19 @@
+module Circuit = Qaoa_circuit.Circuit
+
+let stitch = function
+  | [] -> invalid_arg "Stitcher.stitch: no partial circuits"
+  | first :: rest -> List.fold_left Circuit.concat first rest
+
+let stitch_results results =
+  match List.rev results with
+  | [] -> invalid_arg "Stitcher.stitch_results: no partial results"
+  | last :: _ ->
+    {
+      Router.circuit =
+        stitch (List.map (fun (r : Router.result) -> r.circuit) results);
+      final_mapping = last.Router.final_mapping;
+      swap_count =
+        List.fold_left
+          (fun acc (r : Router.result) -> acc + r.swap_count)
+          0 results;
+    }

@@ -1,0 +1,18 @@
+(** Stitching of partial compiled circuits (paper Fig. 2, the IC/VIC
+    "Stitching Partial Circuits" box).
+
+    Incremental compilation compiles one CPHASE layer at a time against
+    the mapping left by the previous partial compilation; the physical
+    partial circuits then concatenate directly (no re-mapping needed,
+    since each partial compilation starts exactly where the previous one
+    ended). *)
+
+val stitch : Qaoa_circuit.Circuit.t list -> Qaoa_circuit.Circuit.t
+(** Concatenate partial circuits in order.
+    @raise Invalid_argument on the empty list or mismatched register
+    sizes. *)
+
+val stitch_results : Router.result list -> Router.result
+(** Concatenate router results: circuits are stitched, swap counts summed,
+    and the final mapping is the last result's mapping.
+    @raise Invalid_argument on the empty list. *)

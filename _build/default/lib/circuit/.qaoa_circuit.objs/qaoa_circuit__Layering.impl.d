@@ -1,0 +1,1 @@
+lib/circuit/layering.ml: Array Circuit Gate Int List Set

@@ -1,0 +1,1 @@
+lib/circuit/layering.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/circuit/metrics.ml: Circuit Decompose Format Gate Hashtbl Layering List Option

@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Circuit Decompose Float Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/render.ml: Array Buffer Circuit Gate Layering List Printf String

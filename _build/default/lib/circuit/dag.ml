@@ -1,0 +1,154 @@
+type node = { id : int; gate : Gate.t }
+
+type t = {
+  node_list : node list;
+  preds : int list array;  (** direct predecessors per node id *)
+  succs : int list array;
+}
+
+let shares_qubit a b =
+  let qa = Gate.qubits a and qb = Gate.qubits b in
+  List.exists (fun q -> List.mem q qb) qa
+
+let is_diagonal = function
+  | Gate.Z _ | Gate.Rz _ | Gate.Phase _ | Gate.Cphase _ -> true
+  | _ -> false
+
+let is_x_axis = function Gate.X _ | Gate.Rx _ -> true | _ -> false
+
+(* Sound (not complete) commutation check for gates sharing qubits. *)
+let commutes a b =
+  if not (shares_qubit a b) then true
+  else if not (Gate.is_unitary a) || not (Gate.is_unitary b) then false
+  else if is_diagonal a && is_diagonal b then true
+  else
+    let same_axis =
+      match (a, b) with
+      | Gate.Rx (p, _), Gate.Rx (q, _)
+      | Gate.Ry (p, _), Gate.Ry (q, _)
+      | Gate.Rz (p, _), Gate.Rz (q, _)
+      | Gate.Phase (p, _), Gate.Phase (q, _) ->
+        p = q
+      | Gate.X p, Gate.X q | Gate.Y p, Gate.Y q | Gate.Z p, Gate.Z q -> p = q
+      | _ -> false
+    in
+    if same_axis then true
+    else
+      (* CNOT vs 1q gates: diagonal commutes through the control, X-axis
+         through the target.  Check both argument orders. *)
+      let cnot_commutes cnot other =
+        match cnot with
+        | Gate.Cnot (c, t) ->
+          let qs = Gate.qubits other in
+          (is_diagonal other && qs = [ c ])
+          || (is_x_axis other && qs = [ t ])
+        | _ -> false
+      in
+      cnot_commutes a b || cnot_commutes b a
+
+let build circuit =
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let n = Array.length gates in
+  (* barriers depend on everything before and gate everything after *)
+  let depends i j =
+    (* does gate j (later) depend on gate i (earlier)? *)
+    match (gates.(i), gates.(j)) with
+    | Gate.Barrier, _ | _, Gate.Barrier -> true
+    | a, b -> shares_qubit a b && not (commutes a b)
+  in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  for j = 0 to n - 1 do
+    (* transitive reduction on the fly: skip i if some existing
+       predecessor of j already (transitively) depends on i *)
+    let reachable = Hashtbl.create 8 in
+    let rec mark i =
+      if not (Hashtbl.mem reachable i) then begin
+        Hashtbl.replace reachable i ();
+        List.iter mark preds.(i)
+      end
+    in
+    for i = j - 1 downto 0 do
+      if (not (Hashtbl.mem reachable i)) && depends i j then begin
+        preds.(j) <- i :: preds.(j);
+        succs.(i) <- j :: succs.(i);
+        mark i
+      end
+    done
+  done;
+  let node_list = List.init n (fun id -> { id; gate = gates.(id) }) in
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  { node_list; preds; succs }
+
+let nodes t = t.node_list
+let predecessors t id = t.preds.(id)
+let successors t id = t.succs.(id)
+
+let gate_weights t =
+  let gates = Array.of_list (List.map (fun n -> n.gate) t.node_list) in
+  (* barriers take part in the ordering but occupy no time step *)
+  fun i -> match gates.(i) with Gate.Barrier -> 0 | _ -> 1
+
+let critical_path t =
+  let n = Array.length t.preds in
+  let weight = gate_weights t in
+  let level = Array.make n 0 in
+  (* node ids are in circuit order, so predecessors have smaller ids *)
+  let d = ref 0 in
+  for id = 0 to n - 1 do
+    level.(id) <-
+      List.fold_left
+        (fun acc p -> max acc (level.(p) + weight p))
+        0 t.preds.(id);
+    d := max !d (level.(id) + weight id)
+  done;
+  !d
+
+(* Greedy resource-constrained schedule with backfilling: a gate goes to
+   the earliest step at or after all its dependencies finish where every
+   one of its qubits is idle. *)
+let schedule t =
+  let n = Array.length t.preds in
+  let weight = gate_weights t in
+  let finish = Array.make n 0 in
+  let busy = Hashtbl.create 64 in
+  let assigned =
+    List.map
+      (fun node ->
+        let id = node.id in
+        let earliest =
+          List.fold_left (fun acc p -> max acc finish.(p)) 0 t.preds.(id)
+        in
+        let qs = Gate.qubits node.gate in
+        let time =
+          if weight id = 0 then earliest (* barrier: fence only *)
+          else begin
+            let rec free t =
+              if List.exists (fun q -> Hashtbl.mem busy (q, t)) qs then
+                free (t + 1)
+              else t
+            in
+            let t = free earliest in
+            List.iter (fun q -> Hashtbl.replace busy (q, t) ()) qs;
+            t
+          end
+        in
+        finish.(id) <- time + weight id;
+        (node, time))
+      t.node_list
+  in
+  assigned
+
+let depth t =
+  List.fold_left
+    (fun acc (node, time) ->
+      match node.gate with Gate.Barrier -> acc | _ -> max acc (time + 1))
+    0 (schedule t)
+
+let topological_order t =
+  let sched = schedule t in
+  List.stable_sort
+    (fun (_, ta) (_, tb) -> compare ta tb)
+    sched
+  |> List.map fst

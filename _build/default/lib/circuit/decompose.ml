@@ -1,0 +1,36 @@
+let gate = function
+  | Gate.Cphase (c, t, theta) ->
+    [ Gate.Cnot (c, t); Gate.Rz (t, theta); Gate.Cnot (c, t) ]
+  | Gate.Swap (a, b) -> [ Gate.Cnot (a, b); Gate.Cnot (b, a); Gate.Cnot (a, b) ]
+  | g -> [ g ]
+
+let circuit c =
+  Circuit.of_gates (Circuit.num_qubits c)
+    (List.concat_map gate (Circuit.gates c))
+
+let is_basis = function
+  | Gate.Cphase _ | Gate.Swap _ -> false
+  | Gate.H _ | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.Rx _ | Gate.Ry _
+  | Gate.Rz _ | Gate.Phase _ | Gate.Cnot _ | Gate.Barrier | Gate.Measure _ ->
+    true
+
+let orient ~allowed c =
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let allowed_set = S.of_list allowed in
+  let lower g =
+    match g with
+    | Gate.Cnot (a, b) ->
+      if S.mem (a, b) allowed_set then [ g ]
+      else if S.mem (b, a) allowed_set then
+        [ Gate.H a; Gate.H b; Gate.Cnot (b, a); Gate.H a; Gate.H b ]
+      else
+        invalid_arg
+          (Printf.sprintf "Decompose.orient: pair (%d,%d) has no native direction" a b)
+    | _ -> [ g ]
+  in
+  Circuit.of_gates (Circuit.num_qubits c)
+    (List.concat_map lower (Circuit.gates (circuit c)))

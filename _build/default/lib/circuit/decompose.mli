@@ -1,0 +1,28 @@
+(** Decomposition into the hardware basis.
+
+    IBM-style devices natively support one-qubit rotations plus CNOT
+    (Sec. II "Basis Gates").  Multi-qubit non-native gates are lowered:
+    - CPHASE(c, t, theta)  ->  CNOT(c,t); RZ(t, theta); CNOT(c,t)
+      (Fig. 1(d); the RZ is implemented virtually on IBM hardware, hence
+      CPHASE success rate = CNOT success rate squared, Sec. IV.D);
+    - SWAP(a, b)  ->  CNOT(a,b); CNOT(b,a); CNOT(a,b).
+
+    One-qubit gates are already native and pass through unchanged. *)
+
+val gate : Gate.t -> Gate.t list
+(** Basis gates realizing one IR gate. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Lower every gate of the circuit. *)
+
+val is_basis : Gate.t -> bool
+(** True if the gate is native ([Cphase] and [Swap] are not). *)
+
+val orient : allowed:(int * int) list -> Circuit.t -> Circuit.t
+(** Direction-constrained lowering: on real IBM devices each coupling
+    supports CNOT in one native direction; a reversed CNOT costs four
+    extra Hadamards (CX(a,b) = (H(x)H) CX(b,a) (H(x)H)).  [allowed]
+    lists the native [(control, target)] directions; the input is first
+    decomposed to the basis, then every CNOT whose direction is not
+    allowed is conjugated.  CNOTs on pairs absent from [allowed] in both
+    directions raise [Invalid_argument] (route first). *)

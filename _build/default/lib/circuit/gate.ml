@@ -1,0 +1,91 @@
+type t =
+  | H of int
+  | X of int
+  | Y of int
+  | Z of int
+  | Rx of int * float
+  | Ry of int * float
+  | Rz of int * float
+  | Phase of int * float
+  | Cnot of int * int
+  | Cphase of int * int * float
+  | Swap of int * int
+  | Barrier
+  | Measure of int
+
+let qubits = function
+  | H q | X q | Y q | Z q | Rx (q, _) | Ry (q, _) | Rz (q, _) | Phase (q, _)
+  | Measure q ->
+    [ q ]
+  | Cnot (a, b) | Cphase (a, b, _) | Swap (a, b) -> [ a; b ]
+  | Barrier -> []
+
+let is_two_qubit = function
+  | Cnot _ | Cphase _ | Swap _ -> true
+  | H _ | X _ | Y _ | Z _ | Rx _ | Ry _ | Rz _ | Phase _ | Barrier
+  | Measure _ ->
+    false
+
+let is_unitary = function
+  | Barrier | Measure _ -> false
+  | H _ | X _ | Y _ | Z _ | Rx _ | Ry _ | Rz _ | Phase _ | Cnot _ | Cphase _
+  | Swap _ ->
+    true
+
+let map_qubits f = function
+  | H q -> H (f q)
+  | X q -> X (f q)
+  | Y q -> Y (f q)
+  | Z q -> Z (f q)
+  | Rx (q, a) -> Rx (f q, a)
+  | Ry (q, a) -> Ry (f q, a)
+  | Rz (q, a) -> Rz (f q, a)
+  | Phase (q, a) -> Phase (f q, a)
+  | Cnot (c, t) -> Cnot (f c, f t)
+  | Cphase (c, t, a) -> Cphase (f c, f t, a)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Barrier -> Barrier
+  | Measure q -> Measure (f q)
+
+let name = function
+  | H _ -> "h"
+  | X _ -> "x"
+  | Y _ -> "y"
+  | Z _ -> "z"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | Phase _ -> "u1"
+  | Cnot _ -> "cx"
+  | Cphase _ -> "cphase"
+  | Swap _ -> "swap"
+  | Barrier -> "barrier"
+  | Measure _ -> "measure"
+
+let equal a b =
+  match (a, b) with
+  | H p, H q | X p, X q | Y p, Y q | Z p, Z q | Measure p, Measure q -> p = q
+  | Rx (p, x), Rx (q, y)
+  | Ry (p, x), Ry (q, y)
+  | Rz (p, x), Rz (q, y)
+  | Phase (p, x), Phase (q, y) ->
+    p = q && Float.equal x y
+  | Cnot (c, t), Cnot (c', t') | Swap (c, t), Swap (c', t') ->
+    c = c' && t = t'
+  | Cphase (c, t, x), Cphase (c', t', y) ->
+    c = c' && t = t' && Float.equal x y
+  | Barrier, Barrier -> true
+  | ( ( H _ | X _ | Y _ | Z _ | Rx _ | Ry _ | Rz _ | Phase _ | Cnot _
+      | Cphase _ | Swap _ | Barrier | Measure _ ),
+      _ ) ->
+    false
+
+let pp ppf g =
+  match g with
+  | H q | X q | Y q | Z q | Measure q ->
+    Format.fprintf ppf "%s q%d" (name g) q
+  | Rx (q, a) | Ry (q, a) | Rz (q, a) | Phase (q, a) ->
+    Format.fprintf ppf "%s(%.4f) q%d" (name g) a q
+  | Cnot (c, t) | Swap (c, t) -> Format.fprintf ppf "%s q%d q%d" (name g) c t
+  | Cphase (c, t, a) -> Format.fprintf ppf "cphase(%.4f) q%d q%d" a c t
+  | Barrier -> Format.fprintf ppf "barrier"

@@ -1,0 +1,64 @@
+let schedule circuit =
+  (* ASAP: each gate lands in layer 1 + max(finish time of its qubits).
+     Returns (assignments in program order, total depth). *)
+  let n = Circuit.num_qubits circuit in
+  let free_at = Array.make n 0 in
+  let fence = ref 0 in
+  let depth = ref 0 in
+  let assign = ref [] in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Barrier ->
+        fence := !depth
+      | _ ->
+        let qs = Gate.qubits g in
+        let start =
+          List.fold_left (fun acc q -> max acc free_at.(q)) !fence qs
+        in
+        let layer = start in
+        List.iter (fun q -> free_at.(q) <- layer + 1) qs;
+        depth := max !depth (layer + 1);
+        assign := (g, layer) :: !assign)
+    (Circuit.gates circuit);
+  (List.rev !assign, !depth)
+
+let layers circuit =
+  let assign, depth = schedule circuit in
+  let buckets = Array.make depth [] in
+  List.iter (fun (g, l) -> buckets.(l) <- g :: buckets.(l)) assign;
+  Array.to_list (Array.map List.rev buckets)
+
+let alap_layers circuit =
+  (* ALAP = ASAP of the reversed circuit, layers then read back to front.
+     Gate order inside each layer is irrelevant (layers are
+     qubit-disjoint). *)
+  let reversed =
+    Circuit.of_gates (Circuit.num_qubits circuit)
+      (List.rev (Circuit.gates circuit))
+  in
+  List.rev (layers reversed)
+
+let depth circuit = snd (schedule circuit)
+
+let qubit_busy_time circuit =
+  let n = Circuit.num_qubits circuit in
+  let busy = Array.make n 0 in
+  List.iter
+    (fun (g, _) -> List.iter (fun q -> busy.(q) <- busy.(q) + 1) (Gate.qubits g))
+    (fst (schedule circuit));
+  busy
+
+let check_layers_disjoint layers =
+  List.for_all
+    (fun layer ->
+      let module S = Set.Make (Int) in
+      let rec go seen = function
+        | [] -> true
+        | g :: rest ->
+          let qs = Gate.qubits g in
+          if List.exists (fun q -> S.mem q seen) qs then false
+          else go (List.fold_left (fun s q -> S.add q s) seen qs) rest
+      in
+      go S.empty layer)
+    layers

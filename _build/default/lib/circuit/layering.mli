@@ -1,0 +1,26 @@
+(** As-soon-as-possible (ASAP) scheduling of a circuit into layers of
+    concurrently executable gates.
+
+    Two consecutive gates can execute in the same time step iff they act on
+    disjoint qubit sets (paper Sec. I); [Barrier] forces a fence across all
+    qubits.  Circuit depth - the paper's critical-path metric (Sec. V.A) -
+    is the number of layers of this schedule. *)
+
+val layers : Circuit.t -> Gate.t list list
+(** Gates grouped by time step, in execution order.  Barriers are consumed
+    (they constrain the schedule but appear in no layer). *)
+
+val alap_layers : Circuit.t -> Gate.t list list
+(** As-late-as-possible schedule: same depth and gate multiset as
+    {!layers}, but gates sink toward their consumers, shrinking the idle
+    window before each qubit's last use - which reduces the decoherence
+    exposure {!Qaoa_hardware.Coherence} charges for. *)
+
+val depth : Circuit.t -> int
+(** Number of layers. *)
+
+val qubit_busy_time : Circuit.t -> int array
+(** Per-qubit count of time steps in which that qubit hosts a gate. *)
+
+val check_layers_disjoint : Gate.t list list -> bool
+(** Validation helper: no two gates in the same layer share a qubit. *)

@@ -1,0 +1,119 @@
+let two_pi = 2.0 *. Float.pi
+
+(* A rotation of 0 (mod 2 pi) is the identity up to global phase. *)
+let zero_angle theta =
+  let r = Float.rem theta two_pi in
+  Float.abs r < 1e-12 || Float.abs (Float.abs r -. two_pi) < 1e-12
+
+let is_identity = function
+  | Gate.Rx (_, a) | Gate.Ry (_, a) | Gate.Rz (_, a) | Gate.Phase (_, a)
+  | Gate.Cphase (_, _, a) ->
+    zero_angle a
+  | _ -> false
+
+(* How a new gate [g] interacts with the adjacent previous gate [prev]
+   acting on exactly the same qubit set. *)
+type interaction = Cancel | Replace of Gate.t | Keep
+
+let combine prev g =
+  match (prev, g) with
+  | Gate.H a, Gate.H b when a = b -> Cancel
+  | Gate.X a, Gate.X b when a = b -> Cancel
+  | Gate.Y a, Gate.Y b when a = b -> Cancel
+  | Gate.Z a, Gate.Z b when a = b -> Cancel
+  | Gate.Cnot (c, t), Gate.Cnot (c', t') when c = c' && t = t' -> Cancel
+  | Gate.Swap (a, b), Gate.Swap (a', b')
+    when (a = a' && b = b') || (a = b' && b = a') ->
+    Cancel
+  | Gate.Rx (q, x), Gate.Rx (q', y) when q = q' -> Replace (Gate.Rx (q, x +. y))
+  | Gate.Ry (q, x), Gate.Ry (q', y) when q = q' -> Replace (Gate.Ry (q, x +. y))
+  | Gate.Rz (q, x), Gate.Rz (q', y) when q = q' -> Replace (Gate.Rz (q, x +. y))
+  | Gate.Phase (q, x), Gate.Phase (q', y) when q = q' ->
+    Replace (Gate.Phase (q, x +. y))
+  | Gate.Cphase (a, b, x), Gate.Cphase (a', b', y)
+    when (a = a' && b = b') || (a = b' && b = a') ->
+    Replace (Gate.Cphase (a, b, x +. y))
+  | _ -> Keep
+
+type buffer = {
+  mutable gates : Gate.t option array;  (** None = removed *)
+  mutable len : int;
+  last : int array;  (** per qubit: index of the latest live gate, or -1 *)
+}
+
+let push buf g =
+  if buf.len = Array.length buf.gates then begin
+    let bigger = Array.make (max 16 (2 * buf.len)) None in
+    Array.blit buf.gates 0 bigger 0 buf.len;
+    buf.gates <- bigger
+  end;
+  buf.gates.(buf.len) <- Some g;
+  List.iter (fun q -> buf.last.(q) <- buf.len) (Gate.qubits g);
+  buf.len <- buf.len + 1
+
+let fence buf idx =
+  (* a barrier blocks optimization across it on every qubit *)
+  Array.iteri (fun q _ -> buf.last.(q) <- idx) buf.last
+
+let recompute_last buf q =
+  let rec scan i =
+    if i < 0 then buf.last.(q) <- -1
+    else
+      match buf.gates.(i) with
+      | Some Gate.Barrier -> buf.last.(q) <- i
+      | Some g when List.mem q (Gate.qubits g) -> buf.last.(q) <- i
+      | _ -> scan (i - 1)
+  in
+  scan (buf.len - 1)
+
+let kill buf i qs =
+  buf.gates.(i) <- None;
+  List.iter (recompute_last buf) qs
+
+let rec insert buf g =
+  if is_identity g then ()
+  else
+    match Gate.qubits g with
+    | [] ->
+      (* barrier: keep it and fence every qubit *)
+      push buf g;
+      fence buf (buf.len - 1)
+    | qs -> (
+      let anchors = List.map (fun q -> buf.last.(q)) qs in
+      match anchors with
+      | i :: rest when i >= 0 && List.for_all (fun j -> j = i) rest -> (
+        match buf.gates.(i) with
+        | Some prev when List.sort compare (Gate.qubits prev) = List.sort compare qs
+          -> (
+          match combine prev g with
+          | Cancel -> kill buf i qs
+          | Replace merged ->
+            kill buf i qs;
+            insert buf merged
+          | Keep -> push buf g)
+        | _ -> push buf g)
+      | _ -> push buf g)
+
+let one_pass circuit =
+  let n = Circuit.num_qubits circuit in
+  let buf = { gates = Array.make 64 None; len = 0; last = Array.make n (-1) } in
+  List.iter (insert buf) (Circuit.gates circuit);
+  let out = ref [] in
+  for i = buf.len - 1 downto 0 do
+    match buf.gates.(i) with Some g -> out := g :: !out | None -> ()
+  done;
+  Circuit.of_gates n !out
+
+type stats = { gates_before : int; gates_after : int; passes : int }
+
+let with_stats circuit =
+  let gates_before = Circuit.length circuit in
+  let rec fixpoint c passes =
+    let c' = one_pass c in
+    if Circuit.length c' = Circuit.length c then (c', passes + 1)
+    else fixpoint c' (passes + 1)
+  in
+  let optimized, passes = fixpoint circuit 0 in
+  (optimized, { gates_before; gates_after = Circuit.length optimized; passes })
+
+let circuit c = fst (with_stats c)

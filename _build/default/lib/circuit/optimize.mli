@@ -1,0 +1,25 @@
+(** Peephole circuit optimization: cancellation of adjacent self-inverse
+    gate pairs and merging of adjacent rotations.
+
+    Two gates are "adjacent" when no other gate touches any of their
+    qubits in between ([Barrier] fences all qubits).  Rules applied to a
+    fixpoint:
+
+    - self-inverse pairs cancel: H-H, X-X, Y-Y, Z-Z, CNOT-CNOT (same
+      orientation), SWAP-SWAP;
+    - rotations about the same axis merge: RX+RX, RY+RY, RZ+RZ, U1+U1,
+      CPHASE+CPHASE (either qubit order - the gate is symmetric);
+    - rotations whose angle is 0 (mod 2 pi) are dropped (a 2 pi rotation
+      is a global phase).
+
+    All rewrites preserve the circuit semantics up to global phase
+    (property-tested).  The pass pays off most after routing and
+    decomposition, where SWAP and CPHASE lowerings place cancelling
+    CNOTs back to back. *)
+
+val circuit : Circuit.t -> Circuit.t
+(** Optimize to a fixpoint.  Never increases the gate count. *)
+
+type stats = { gates_before : int; gates_after : int; passes : int }
+
+val with_stats : Circuit.t -> Circuit.t * stats

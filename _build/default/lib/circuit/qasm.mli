@@ -1,0 +1,22 @@
+(** OpenQASM 2.0 export.
+
+    Produces a textual program loadable by common toolchains (qiskit,
+    tket), so compiled circuits can be cross-checked externally.  [Cphase]
+    and [Swap] are emitted in decomposed (basis) form; [Barrier] spans the
+    whole register. *)
+
+val to_string : Circuit.t -> string
+(** Full program: header, register declarations, one statement per gate.
+    A classical register is declared iff the circuit measures. *)
+
+val print : Circuit.t -> unit
+
+val of_string : string -> Circuit.t
+(** Parse the OpenQASM 2.0 subset this module emits (plus [swap],
+    [u1]/[p], [rx/ry/rz], [h/x/y/z], [cx], [barrier], [measure], [pi]
+    arithmetic in angles, comments and blank lines).  One quantum
+    register with an arbitrary name is supported; [to_string] then
+    [of_string] round-trips up to CPHASE/SWAP lowering (exported
+    circuits come back in basis form).
+    @raise Failure with a line-numbered message on unsupported or
+    malformed input. *)

@@ -1,0 +1,47 @@
+let cell_labels g =
+  match g with
+  | Gate.H q -> [ (q, "H") ]
+  | Gate.X q -> [ (q, "X") ]
+  | Gate.Y q -> [ (q, "Y") ]
+  | Gate.Z q -> [ (q, "Z") ]
+  | Gate.Rx (q, _) -> [ (q, "RX") ]
+  | Gate.Ry (q, _) -> [ (q, "RY") ]
+  | Gate.Rz (q, _) -> [ (q, "RZ") ]
+  | Gate.Phase (q, _) -> [ (q, "P") ]
+  | Gate.Cnot (c, t) -> [ (c, "o"); (t, "X") ]
+  | Gate.Cphase (a, b, _) -> [ (a, "#"); (b, "#") ]
+  | Gate.Swap (a, b) -> [ (a, "x"); (b, "x") ]
+  | Gate.Measure q -> [ (q, "M") ]
+  | Gate.Barrier -> []
+
+let to_string circuit =
+  let n = Circuit.num_qubits circuit in
+  let layers = Layering.layers circuit in
+  let columns =
+    List.map
+      (fun layer ->
+        let cells = Array.make n "" in
+        List.iter
+          (fun g -> List.iter (fun (q, s) -> cells.(q) <- s) (cell_labels g))
+          layer;
+        let width = Array.fold_left (fun acc s -> max acc (String.length s)) 1 cells in
+        (cells, width))
+      layers
+  in
+  let buf = Buffer.create 256 in
+  let label_width = String.length (string_of_int (max 0 (n - 1))) in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "q%-*d: " label_width q);
+    List.iter
+      (fun (cells, width) ->
+        Buffer.add_char buf '-';
+        let s = cells.(q) in
+        Buffer.add_string buf s;
+        Buffer.add_string buf (String.make (width - String.length s) '-'))
+      columns;
+    Buffer.add_char buf '-';
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let print c = print_string (to_string c)

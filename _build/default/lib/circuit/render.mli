@@ -1,0 +1,18 @@
+(** Plain-ASCII circuit diagrams.
+
+    One text line per qubit, one column per ASAP layer:
+
+    {v
+    q0: -H--o-------M-
+    q1: ----X--RZ---M-
+    v}
+
+    Cell mnemonics: [o] CNOT control, [X] CNOT target, [x] both ends of a
+    SWAP, [#] both ends of a CPHASE, [M] measure, gate names otherwise
+    (rotation angles are omitted - diagrams show structure, not
+    parameters).  Intended for examples, docs and debugging; the QASM
+    exporter is the machine-readable path. *)
+
+val to_string : Circuit.t -> string
+
+val print : Circuit.t -> unit

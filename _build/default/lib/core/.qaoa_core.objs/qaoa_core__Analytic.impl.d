@@ -1,0 +1,1 @@
+lib/core/analytic.ml: Ansatz Array Float List Optimizer Qaoa_graph

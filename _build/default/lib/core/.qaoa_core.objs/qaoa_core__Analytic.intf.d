@@ -1,0 +1,1 @@
+lib/core/analytic.mli: Ansatz Qaoa_graph

@@ -1,0 +1,1 @@
+lib/core/ansatz.ml: Array Hashtbl List Option Problem Qaoa_circuit Qaoa_sim Qaoa_util

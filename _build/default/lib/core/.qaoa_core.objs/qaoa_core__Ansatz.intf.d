@@ -1,0 +1,1 @@
+lib/core/ansatz.mli: Problem Qaoa_circuit Qaoa_sim

@@ -1,0 +1,1 @@
+lib/core/arg.ml: Ansatz Array Compile Hashtbl Option Problem Qaoa_hardware Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/arg.mli: Ansatz Compile Problem Qaoa_hardware Qaoa_util

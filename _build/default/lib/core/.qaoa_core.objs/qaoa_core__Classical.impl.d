@@ -1,0 +1,1 @@
+lib/core/classical.ml: Array Float List Option Problem Qaoa_util

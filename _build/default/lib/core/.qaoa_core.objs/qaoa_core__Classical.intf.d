@@ -1,0 +1,1 @@
+lib/core/classical.mli: Problem Qaoa_util

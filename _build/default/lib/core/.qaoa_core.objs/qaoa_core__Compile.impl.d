@@ -1,0 +1,1 @@
+lib/core/compile.ml: Ansatz Greedy_mapper Ic Ip List Naive Printf Problem Qaim Qaoa_backend Qaoa_circuit Qaoa_hardware Qaoa_util String Success Sys Vqa

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Ansatz Problem Qaim Qaoa_backend Qaoa_circuit Qaoa_hardware

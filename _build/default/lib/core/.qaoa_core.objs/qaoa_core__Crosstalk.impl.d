@@ -1,0 +1,1 @@
+lib/core/crosstalk.ml: List Qaoa_circuit Set

@@ -1,0 +1,1 @@
+lib/core/crosstalk.mli: Qaoa_circuit

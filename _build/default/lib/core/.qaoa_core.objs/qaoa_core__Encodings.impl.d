@@ -1,0 +1,1 @@
+lib/core/encodings.ml: Array Hashtbl List Problem Qaoa_graph

@@ -1,0 +1,1 @@
+lib/core/encodings.mli: Problem Qaoa_graph

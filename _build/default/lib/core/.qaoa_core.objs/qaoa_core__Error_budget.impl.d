@@ -1,0 +1,1 @@
+lib/core/error_budget.ml: Format Hashtbl List Option Printf Qaoa_circuit Qaoa_hardware

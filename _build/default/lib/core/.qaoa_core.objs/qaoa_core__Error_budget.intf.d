@@ -1,0 +1,1 @@
+lib/core/error_budget.mli: Format Qaoa_circuit Qaoa_hardware

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Problem Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/greedy_mapper.ml: Array Hashtbl List Problem Qaoa_backend Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/greedy_mapper.mli: Problem Qaoa_backend Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/ic.ml: Ansatz Array Hashtbl List Option Problem Qaoa_backend Qaoa_circuit Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/ic.mli: Ansatz Problem Qaoa_backend Qaoa_hardware Qaoa_util

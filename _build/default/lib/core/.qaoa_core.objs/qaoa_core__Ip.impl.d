@@ -1,0 +1,1 @@
+lib/core/ip.ml: Array List Option Problem Qaoa_util

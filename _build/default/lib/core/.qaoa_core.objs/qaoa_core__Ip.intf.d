@@ -1,0 +1,1 @@
+lib/core/ip.mli: Problem Qaoa_util

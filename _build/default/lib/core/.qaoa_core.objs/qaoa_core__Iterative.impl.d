@@ -1,0 +1,1 @@
+lib/core/iterative.ml: Compile Qaoa_circuit Qaoa_hardware Sys

@@ -1,0 +1,1 @@
+lib/core/iterative.mli: Ansatz Compile Problem Qaoa_hardware

@@ -1,0 +1,1 @@
+lib/core/landscape.ml: Analytic Ansatz Array Buffer Float List Printf Problem String

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Problem Qaoa_backend Qaoa_hardware Qaoa_util

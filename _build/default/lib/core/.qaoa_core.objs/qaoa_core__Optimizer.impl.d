@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Ansatz Array Float List Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Ansatz Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Int List Map Option Qaoa_graph

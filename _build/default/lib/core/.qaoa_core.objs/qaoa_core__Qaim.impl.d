@@ -1,0 +1,1 @@
+lib/core/qaim.ml: Array Float Hashtbl List Problem Qaoa_backend Qaoa_graph Qaoa_hardware Qaoa_util

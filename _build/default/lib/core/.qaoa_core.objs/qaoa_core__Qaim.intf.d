@@ -1,0 +1,1 @@
+lib/core/qaim.mli: Problem Qaoa_backend Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/reverse_traversal.ml: List Qaoa_backend Qaoa_circuit

@@ -1,0 +1,1 @@
+lib/core/reverse_traversal.mli: Qaoa_backend Qaoa_circuit Qaoa_hardware

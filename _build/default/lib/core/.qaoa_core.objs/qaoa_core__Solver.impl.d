@@ -1,0 +1,1 @@
+lib/core/solver.ml: Analytic Ansatz Array Compile Float List Optimizer Problem Qaoa_hardware Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Ansatz Compile Problem Qaoa_hardware

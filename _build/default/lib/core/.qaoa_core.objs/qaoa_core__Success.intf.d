@@ -1,0 +1,1 @@
+lib/core/success.mli: Qaoa_backend Qaoa_circuit Qaoa_hardware

@@ -1,0 +1,1 @@
+lib/core/swap_network.ml: Ansatz Array Hashtbl List Problem Qaoa_backend Qaoa_circuit Qaoa_hardware

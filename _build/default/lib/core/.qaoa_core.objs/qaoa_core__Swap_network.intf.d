@@ -1,0 +1,1 @@
+lib/core/swap_network.mli: Ansatz Problem Qaoa_backend Qaoa_hardware

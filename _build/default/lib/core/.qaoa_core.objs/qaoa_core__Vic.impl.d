@@ -1,0 +1,1 @@
+lib/core/vic.ml: Ic Qaoa_backend

@@ -1,0 +1,1 @@
+lib/core/vic.mli: Ansatz Ic Problem Qaoa_backend Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/vqa.ml: Array Hashtbl List Problem Qaoa_backend Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/core/vqa.mli: Problem Qaoa_backend Qaoa_hardware Qaoa_util

@@ -1,0 +1,42 @@
+module Graph = Qaoa_graph.Graph
+
+let edge_expectation g ~edge:(u, v) ~gamma ~beta =
+  if not (Graph.has_edge g u v) then
+    invalid_arg "Analytic.edge_expectation: not an edge";
+  let du = float_of_int (Graph.degree g u - 1) in
+  let dv = float_of_int (Graph.degree g v - 1) in
+  let t = float_of_int (List.length (Graph.common_neighbors g u v)) in
+  let cg = cos gamma in
+  0.5
+  +. (0.25 *. sin (4.0 *. beta) *. sin gamma *. ((cg ** du) +. (cg ** dv)))
+  -. (0.25
+     *. (sin (2.0 *. beta) ** 2.0)
+     *. (cg ** (du +. dv -. (2.0 *. t)))
+     *. (1.0 -. (cos (2.0 *. gamma) ** t)))
+
+let expectation g ~gamma ~beta =
+  Graph.fold_edges
+    (fun u v acc -> acc +. edge_expectation g ~edge:(u, v) ~gamma ~beta)
+    g 0.0
+
+let optimize ?(grid = 64) g =
+  let best = ref (0.0, 0.0) and best_val = ref neg_infinity in
+  for i = 0 to grid - 1 do
+    for j = 0 to grid - 1 do
+      let gamma = Float.pi *. float_of_int i /. float_of_int grid in
+      let beta = Float.pi /. 2.0 *. float_of_int j /. float_of_int grid in
+      let v = expectation g ~gamma ~beta in
+      if v > !best_val then begin
+        best := (gamma, beta);
+        best_val := v
+      end
+    done
+  done;
+  let g0, b0 = !best in
+  let objective x = expectation g ~gamma:x.(0) ~beta:x.(1) in
+  let x, v =
+    Optimizer.nelder_mead ~maximize:true ~initial:[| g0; b0 |]
+      ~step:(Float.pi /. (2.0 *. float_of_int grid))
+      objective
+  in
+  (Ansatz.params_p1 ~gamma:x.(0) ~beta:x.(1), v)

@@ -1,0 +1,63 @@
+module Device = Qaoa_hardware.Device
+module Rng = Qaoa_util.Rng
+
+type report = {
+  ideal_ratio : float;
+  hardware_ratio : float;
+  arg_percent : float;
+  optimum : float;
+}
+
+let evaluate ?(shots = 4096) ?trajectories ?(mitigate_readout = false) rng
+    device problem params result =
+  let trajectories = Option.value ~default:(max 1 (shots / 32)) trajectories in
+  let _, optimum = Problem.brute_force_best problem in
+  (* r0: sample the noiseless logical ansatz state. *)
+  let ideal_state = Ansatz.state problem params in
+  let ideal_samples = Qaoa_sim.Sampler.sample_many rng ideal_state ~shots in
+  let ideal_ratio =
+    Qaoa_util.Stats.mean_array
+      (Array.map (fun b -> Problem.cost problem b) ideal_samples)
+    /. optimum
+  in
+  (* rh: noisy trajectories of the compiled physical circuit. *)
+  let noise = Qaoa_sim.Noise.create (Device.calibration_exn device) in
+  let physical_samples =
+    Qaoa_sim.Noise.sample_noisy rng noise result.Compile.circuit ~shots
+      ~trajectories
+  in
+  let logical_cost b = Problem.cost problem (Compile.logical_outcome result b) in
+  let hardware_mean =
+    if mitigate_readout then begin
+      let counts = Hashtbl.create 256 in
+      Array.iter
+        (fun b ->
+          Hashtbl.replace counts b
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts b)))
+        physical_samples;
+      let ro =
+        Qaoa_hardware.Calibration.readout_error (Device.calibration_exn device)
+      in
+      (* mitigate in logical space: translate outcomes first, then unfold
+         the per-qubit flip channel over the problem's qubits *)
+      let logical_counts = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun b c ->
+          let l = Compile.logical_outcome result b in
+          Hashtbl.replace logical_counts l
+            (c + Option.value ~default:0 (Hashtbl.find_opt logical_counts l)))
+        counts;
+      Qaoa_sim.Mitigation.expectation ~p:ro
+        ~num_qubits:problem.Problem.num_vars (Problem.cost problem)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) logical_counts [])
+    end
+    else
+      Qaoa_util.Stats.mean_array (Array.map logical_cost physical_samples)
+  in
+  let hardware_ratio = hardware_mean /. optimum in
+  {
+    ideal_ratio;
+    hardware_ratio;
+    arg_percent = 100.0 *. (ideal_ratio -. hardware_ratio) /. ideal_ratio;
+    optimum;
+  }

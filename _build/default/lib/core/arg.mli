@@ -1,0 +1,39 @@
+(** ARG - the Approximation Ratio Gap metric (paper Sec. V.A).
+
+    Judging compiled QAOA circuits by running the full hybrid loop on
+    hardware is prohibitively slow on shared devices; ARG instead fixes
+    the circuit parameters at values found offline, then compares the
+    approximation ratio of noiseless sampling (r0) against sampling on
+    the target hardware (rh):
+
+      ARG = 100 * (r0 - rh) / r0      (lower is better).
+
+    Here "hardware" is the stochastic-Pauli trajectory simulator over the
+    device's calibration data (DESIGN.md, substitution 2): the identical
+    compile -> execute -> sample -> score pipeline, with sampled physical
+    bitstrings translated back through the final mapping. *)
+
+type report = {
+  ideal_ratio : float;  (** r0: noiseless approximation ratio *)
+  hardware_ratio : float;  (** rh: noisy-execution approximation ratio *)
+  arg_percent : float;  (** 100 (r0 - rh) / r0 *)
+  optimum : float;  (** brute-force maximum cost *)
+}
+
+val evaluate :
+  ?shots:int ->
+  ?trajectories:int ->
+  ?mitigate_readout:bool ->
+  Qaoa_util.Rng.t ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Ansatz.params ->
+  Compile.result ->
+  report
+(** [shots] defaults to 4096 and [trajectories] to [shots / 32].  Both
+    the noiseless and noisy ratios use the same number of samples, per
+    the paper's protocol.  [mitigate_readout] (default false) unfolds
+    the device's readout-flip channel from the hardware samples with
+    {!Qaoa_sim.Mitigation} before scoring - an evaluation-side extension
+    beyond the paper.  @raise Invalid_argument if the device has no
+    calibration data. *)

@@ -1,0 +1,171 @@
+module Circuit = Qaoa_circuit.Circuit
+module Metrics = Qaoa_circuit.Metrics
+module Device = Qaoa_hardware.Device
+module Mapping = Qaoa_backend.Mapping
+module Router = Qaoa_backend.Router
+module Rng = Qaoa_util.Rng
+
+type strategy =
+  | Naive
+  | Greedy_v
+  | Greedy_e
+  | Vqa_alloc
+  | Qaim
+  | Ip
+  | Ic of int option
+  | Vic of int option
+
+let strategy_name = function
+  | Naive -> "NAIVE"
+  | Greedy_v -> "GreedyV"
+  | Greedy_e -> "GreedyE"
+  | Vqa_alloc -> "VQA"
+  | Qaim -> "QAIM"
+  | Ip -> "IP"
+  | Ic None -> "IC"
+  | Ic (Some l) -> Printf.sprintf "IC(limit=%d)" l
+  | Vic None -> "VIC"
+  | Vic (Some l) -> Printf.sprintf "VIC(limit=%d)" l
+
+let all_strategies =
+  [ Naive; Greedy_v; Greedy_e; Vqa_alloc; Qaim; Ip; Ic None; Vic None ]
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Some Naive
+  | "greedyv" | "greedy_v" -> Some Greedy_v
+  | "greedye" | "greedy_e" -> Some Greedy_e
+  | "vqa" -> Some Vqa_alloc
+  | "qaim" -> Some Qaim
+  | "ip" -> Some Ip
+  | "ic" -> Some (Ic None)
+  | "vic" -> Some (Vic None)
+  | _ -> None
+
+type options = {
+  seed : int;
+  measure : bool;
+  peephole : bool;
+  router : Router.config;
+  qaim : Qaim.config;
+}
+
+let default_options =
+  {
+    seed = 42;
+    measure = true;
+    peephole = false;
+    router = Router.default_config;
+    qaim = Qaim.default_config;
+  }
+
+type result = {
+  strategy : strategy;
+  circuit : Circuit.t;
+  initial_mapping : Mapping.t;
+  final_mapping : Mapping.t;
+  swap_count : int;
+  compile_time : float;
+  metrics : Metrics.t;
+}
+
+let random_orders rng problem ~p =
+  List.init p (fun _ -> Naive.cphase_order rng problem)
+
+(* Route the whole ansatz in one backend call (NAIVE / GreedyV / GreedyE /
+   QAIM / IP paths). *)
+let route_whole options device problem params ~initial ~orders =
+  let circuit =
+    Ansatz.circuit ~measure:options.measure ~orders problem params
+  in
+  Router.route ~config:options.router ~device ~initial circuit
+
+let compile ?(options = default_options) ~strategy device problem params =
+  if problem.Problem.num_vars > Device.num_qubits device then
+    invalid_arg "Compile.compile: problem larger than device";
+  let rng = Rng.create options.seed in
+  let p = Ansatz.levels params in
+  let t0 = Sys.time () in
+  let initial, routed =
+    match strategy with
+    | Naive ->
+      let initial = Naive.initial_mapping rng device problem in
+      ( initial,
+        route_whole options device problem params ~initial
+          ~orders:(random_orders rng problem ~p) )
+    | Greedy_v ->
+      let initial = Greedy_mapper.greedy_v rng device problem in
+      ( initial,
+        route_whole options device problem params ~initial
+          ~orders:(random_orders rng problem ~p) )
+    | Greedy_e ->
+      let initial = Greedy_mapper.greedy_e rng device problem in
+      ( initial,
+        route_whole options device problem params ~initial
+          ~orders:(random_orders rng problem ~p) )
+    | Vqa_alloc ->
+      let initial = Vqa.initial_mapping rng device problem in
+      ( initial,
+        route_whole options device problem params ~initial
+          ~orders:(random_orders rng problem ~p) )
+    | Qaim ->
+      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
+      ( initial,
+        route_whole options device problem params ~initial
+          ~orders:(random_orders rng problem ~p) )
+    | Ip ->
+      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
+      let orders = List.init p (fun _ -> Ip.order rng problem) in
+      (initial, route_whole options device problem params ~initial ~orders)
+    | Ic packing_limit ->
+      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
+      let config =
+        { Ic.packing_limit; variation_aware = false; router = options.router }
+      in
+      ( initial,
+        Ic.compile ~config ~measure:options.measure rng device ~initial
+          problem params )
+    | Vic packing_limit ->
+      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
+      let config =
+        { Ic.packing_limit; variation_aware = true; router = options.router }
+      in
+      ( initial,
+        Ic.compile ~config ~measure:options.measure rng device ~initial
+          problem params )
+  in
+  let routed =
+    if options.peephole then
+      {
+        routed with
+        Router.circuit =
+          Qaoa_circuit.Optimize.circuit
+            (Qaoa_circuit.Decompose.circuit routed.Router.circuit);
+      }
+    else routed
+  in
+  let compile_time = Sys.time () -. t0 in
+  {
+    strategy;
+    circuit = routed.Router.circuit;
+    initial_mapping = initial;
+    final_mapping = routed.Router.final_mapping;
+    swap_count = routed.Router.swap_count;
+    compile_time;
+    metrics = Metrics.of_circuit routed.Router.circuit;
+  }
+
+let success_probability ?include_readout device result =
+  Success.of_circuit ?include_readout
+    (Device.calibration_exn device)
+    result.circuit
+
+let logical_outcome result physical_bits =
+  let m = result.final_mapping in
+  let n = Mapping.num_logical m in
+  let out = ref 0 in
+  for l = 0 to n - 1 do
+    if physical_bits land (1 lsl Mapping.phys m l) <> 0 then
+      out := !out lor (1 lsl l)
+  done;
+  !out

@@ -1,0 +1,68 @@
+(** Unified compilation entry point - one call dispatching to the NAIVE
+    baseline, the initial-mapping baselines (GreedyV, GreedyE), and the
+    paper's four methodologies (QAIM, IP, IC, VIC), all driven through the
+    same backend router so their results are directly comparable, exactly
+    as in the paper's evaluation (Sec. V). *)
+
+type strategy =
+  | Naive  (** random mapping + random CPHASE order *)
+  | Greedy_v  (** GreedyV mapping + random order *)
+  | Greedy_e  (** GreedyE mapping + random order *)
+  | Vqa_alloc  (** VQA reliability-aware allocation + random order *)
+  | Qaim  (** QAIM mapping + random order *)
+  | Ip  (** QAIM mapping + IP-parallelized order *)
+  | Ic of int option  (** QAIM + incremental compilation (packing limit) *)
+  | Vic of int option  (** QAIM + variation-aware IC (packing limit) *)
+
+val strategy_name : strategy -> string
+
+val all_strategies : strategy list
+(** [Naive; Greedy_v; Greedy_e; Vqa_alloc; Qaim; Ip; Ic None; Vic None].
+    [Vqa_alloc] and [Vic] require device calibration. *)
+
+val strategy_of_string : string -> strategy option
+(** Parse "naive" | "greedyv" | "greedye" | "vqa" | "qaim" | "ip" | "ic"
+    | "vic" (case-insensitive). *)
+
+type options = {
+  seed : int;  (** drives every randomized choice (default 42) *)
+  measure : bool;  (** append measurements (default true) *)
+  peephole : bool;
+      (** run {!Qaoa_circuit.Optimize} on the decomposed compiled circuit
+          (CNOT cancellation across SWAP/CPHASE lowerings; default
+          false to keep the paper's metrics unassisted) *)
+  router : Qaoa_backend.Router.config;
+  qaim : Qaim.config;
+}
+
+val default_options : options
+
+type result = {
+  strategy : strategy;
+  circuit : Qaoa_circuit.Circuit.t;
+      (** hardware-compliant circuit on physical qubits *)
+  initial_mapping : Qaoa_backend.Mapping.t;
+  final_mapping : Qaoa_backend.Mapping.t;
+  swap_count : int;
+  compile_time : float;  (** CPU seconds spent compiling *)
+  metrics : Qaoa_circuit.Metrics.t;  (** of the decomposed circuit *)
+}
+
+val compile :
+  ?options:options ->
+  strategy:strategy ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Ansatz.params ->
+  result
+(** Compile the p-level QAOA ansatz of the problem for the device.
+    @raise Invalid_argument if the problem needs more qubits than the
+    device has, or if VIC is requested on a device without calibration. *)
+
+val success_probability : ?include_readout:bool -> Qaoa_hardware.Device.t -> result -> float
+(** {!Success.of_circuit} on the compiled circuit. *)
+
+val logical_outcome : result -> int -> int
+(** Translate a sampled physical bitstring (basis index over device
+    qubits) into the logical bitstring via the final mapping: logical bit
+    [l] is physical bit [phys(final_mapping, l)]. *)

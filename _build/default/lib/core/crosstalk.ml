@@ -1,0 +1,54 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Layering = Qaoa_circuit.Layering
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let normalize pairs =
+  Pair_set.of_list (List.map (fun (a, b) -> (min a b, max a b)) pairs)
+
+let is_hot hot g =
+  Gate.is_two_qubit g
+  &&
+  match Gate.qubits g with
+  | [ a; b ] -> Pair_set.mem (min a b, max a b) hot
+  | _ -> false
+
+type stats = { conflicts : int; depth_before : int; depth_after : int }
+
+let apply_with_stats ~high_crosstalk circuit =
+  let hot = normalize high_crosstalk in
+  let layers = Layering.layers circuit in
+  let conflicts = ref 0 in
+  let out = ref (Circuit.create (Circuit.num_qubits circuit)) in
+  let emit gs = out := Circuit.append_list !out gs in
+  List.iter
+    (fun layer ->
+      let hot_gates, cold_gates = List.partition (is_hot hot) layer in
+      match hot_gates with
+      | [] | [ _ ] -> emit (cold_gates @ hot_gates)
+      | first :: rest ->
+        incr conflicts;
+        (* Keep one hot gate with the layer; fence each remaining hot
+           gate into its own time step. *)
+        emit (cold_gates @ [ first ]);
+        List.iter
+          (fun g ->
+            emit [ Gate.Barrier ];
+            emit [ g ])
+          rest)
+    layers;
+  let result = !out in
+  ( result,
+    {
+      conflicts = !conflicts;
+      depth_before = Layering.depth circuit;
+      depth_after = Layering.depth result;
+    } )
+
+let sequentialize ~high_crosstalk circuit =
+  fst (apply_with_stats ~high_crosstalk circuit)

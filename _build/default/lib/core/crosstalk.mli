@@ -1,0 +1,29 @@
+(** Crosstalk-aware post-compilation sequentialization (paper Sec. VI,
+    following Murali et al., ASPLOS'20).
+
+    On real devices only a small subset of couplings is highly crosstalk
+    prone (5 of 221 on IBM Poughkeepsie); serializing the parallel
+    operations on just those couplings trades a little depth for less
+    crosstalk error.  This pass re-schedules an already-compiled circuit:
+    whenever an ASAP layer contains two or more two-qubit gates acting on
+    designated high-crosstalk couplings, all but the first are pushed into
+    subsequent time steps (realized with barrier fences). *)
+
+val sequentialize :
+  high_crosstalk:(int * int) list ->
+  Qaoa_circuit.Circuit.t ->
+  Qaoa_circuit.Circuit.t
+(** Returns an equivalent circuit in which no two high-crosstalk gates
+    share a time step.  Circuits without parallel high-crosstalk gates
+    are returned unchanged (gate-for-gate). *)
+
+type stats = {
+  conflicts : int;  (** layers that held parallel high-crosstalk gates *)
+  depth_before : int;
+  depth_after : int;
+}
+
+val apply_with_stats :
+  high_crosstalk:(int * int) list ->
+  Qaoa_circuit.Circuit.t ->
+  Qaoa_circuit.Circuit.t * stats

@@ -1,0 +1,113 @@
+module Graph = Qaoa_graph.Graph
+
+(* Spin convention: bit 1 (selected/true) <-> s = -1, so x = (1 - s)/2. *)
+
+let max_independent_set ?(penalty = 2.0) g =
+  if penalty <= 1.0 then
+    invalid_arg "Encodings.max_independent_set: penalty must exceed 1";
+  let n = Graph.num_vertices g in
+  let m = float_of_int (Graph.num_edges g) in
+  (* sum x_i - P sum_E x_i x_j, with x_i x_j = (1 - s_i - s_j + s_i s_j)/4 *)
+  let linear =
+    List.init n (fun i ->
+        (i, -0.5 +. (penalty /. 4.0 *. float_of_int (Graph.degree g i))))
+  in
+  let quadratic =
+    List.map (fun (i, j) -> (i, j, -.penalty /. 4.0)) (Graph.edges g)
+  in
+  Problem.create
+    ~constant:((float_of_int n /. 2.0) -. (penalty *. m /. 4.0))
+    ~linear ~num_vars:n quadratic
+
+let min_vertex_cover ?(penalty = 2.0) g =
+  if penalty <= 1.0 then
+    invalid_arg "Encodings.min_vertex_cover: penalty must exceed 1";
+  let n = Graph.num_vertices g in
+  let m = float_of_int (Graph.num_edges g) in
+  (* -sum x_i - P sum_E (1-x_i)(1-x_j); (1-x_i)(1-x_j) =
+     (1 + s_i + s_j + s_i s_j)/4 *)
+  let linear =
+    List.init n (fun i ->
+        (i, 0.5 -. (penalty /. 4.0 *. float_of_int (Graph.degree g i))))
+  in
+  let quadratic =
+    List.map (fun (i, j) -> (i, j, -.penalty /. 4.0)) (Graph.edges g)
+  in
+  Problem.create
+    ~constant:((-.float_of_int n /. 2.0) -. (penalty *. m /. 4.0))
+    ~linear ~num_vars:n quadratic
+
+let number_partitioning numbers =
+  let a = Array.of_list numbers in
+  let n = Array.length a in
+  (* -(sum a_i s_i)^2 = -sum a_i^2 - 2 sum_{i<j} a_i a_j s_i s_j *)
+  let constant = -.Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a in
+  let quadratic = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      quadratic := (i, j, -2.0 *. a.(i) *. a.(j)) :: !quadratic
+    done
+  done;
+  Problem.create ~constant ~num_vars:n !quadratic
+
+type literal = { var : int; negated : bool }
+type clause = literal * literal
+
+(* (1 - v) for a literal = (1 + sigma s)/2 with sigma = +1 for positive
+   literals, -1 for negated ones. *)
+let sigma l = if l.negated then -1.0 else 1.0
+
+let max_2sat ~num_vars clauses =
+  let constant = ref 0.0 in
+  let linear = ref [] in
+  let quadratic = ref [] in
+  List.iter
+    (fun ((l1, l2) : clause) ->
+      if l1.var = l2.var then
+        if l1.negated <> l2.negated then
+          (* x or not-x: tautology *)
+          constant := !constant +. 1.0
+        else begin
+          (* duplicated literal: value = v = (1 - sigma s)/2 *)
+          constant := !constant +. 0.5;
+          linear := (l1.var, -.sigma l1 /. 2.0) :: !linear
+        end
+      else begin
+        (* 1 - (1+s1 sig1)(1+s2 sig2)/4 *)
+        constant := !constant +. 0.75;
+        linear :=
+          (l1.var, -.sigma l1 /. 4.0) :: (l2.var, -.sigma l2 /. 4.0) :: !linear;
+        quadratic :=
+          (l1.var, l2.var, -.(sigma l1 *. sigma l2) /. 4.0) :: !quadratic
+      end)
+    clauses;
+  Problem.create ~constant:!constant ~linear:!linear ~num_vars !quadratic
+
+let decode_selection problem bits =
+  List.filter
+    (fun i -> bits land (1 lsl i) <> 0)
+    (List.init problem.Problem.num_vars (fun i -> i))
+
+let is_independent_set g selected =
+  let set = Hashtbl.create (List.length selected) in
+  List.iter (fun v -> Hashtbl.replace set v ()) selected;
+  Graph.fold_edges
+    (fun u v ok -> ok && not (Hashtbl.mem set u && Hashtbl.mem set v))
+    g true
+
+let is_vertex_cover g selected =
+  let set = Hashtbl.create (List.length selected) in
+  List.iter (fun v -> Hashtbl.replace set v ()) selected;
+  Graph.fold_edges
+    (fun u v ok -> ok && (Hashtbl.mem set u || Hashtbl.mem set v))
+    g true
+
+let literal_value l bits =
+  let x = bits land (1 lsl l.var) <> 0 in
+  if l.negated then not x else x
+
+let count_satisfied clauses bits =
+  List.fold_left
+    (fun acc (l1, l2) ->
+      if literal_value l1 bits || literal_value l2 bits then acc + 1 else acc)
+    0 clauses

@@ -1,0 +1,48 @@
+(** Ising encodings of classical NP-hard problems beyond MaxCut.
+
+    The paper's applicability argument (Sec. VI): any NP-hard cost
+    function can be written in the Ising format of {!Problem.t} and its
+    quadratic terms compiled as CPHASE gates through the same pipeline.
+    Each encoding documents its penalty construction; the test suite
+    verifies on small instances that the encoded optimum coincides with
+    the combinatorial optimum computed by independent brute force.
+
+    Conventions: bit value 1 in a measured bitstring means "selected"
+    (for set problems) / "true" (for SAT) / "partition B" (for
+    partitioning).  All encodings are maximization problems, matching
+    {!Problem.brute_force_best}. *)
+
+val max_independent_set : ?penalty:float -> Qaoa_graph.Graph.t -> Problem.t
+(** Maximize |S| subject to no edge inside S, as
+    [sum_i x_i - penalty * sum_(ij in E) x_i x_j] with binary x.
+    [penalty] defaults to 2.0 (> 1 guarantees penalized optima are
+    independent sets). *)
+
+val min_vertex_cover : ?penalty:float -> Qaoa_graph.Graph.t -> Problem.t
+(** Minimize |C| subject to every edge covered; encoded as maximizing
+    [-sum_i x_i - penalty * sum_(ij) (1 - x_i)(1 - x_j)] with [penalty]
+    defaulting to 2.0.  The optimum value is [-(minimum cover size)]. *)
+
+val number_partitioning : float list -> Problem.t
+(** Split numbers into two sets with equal sums: maximize
+    [-(sum_i a_i s_i)^2], whose optimum is 0 exactly when a perfect
+    partition exists. *)
+
+type literal = { var : int; negated : bool }
+type clause = literal * literal
+
+val max_2sat : num_vars:int -> clause list -> Problem.t
+(** Maximize the number of satisfied 2-literal clauses.  Each clause
+    (l1 or l2) contributes [1 - (1-v1)(1-v2)] with v the 0/1 value of
+    the literal; expanded to Ising terms.  The optimum equals the true
+    Max-2-SAT count (brute-force verified in tests). *)
+
+val decode_selection : Problem.t -> int -> int list
+(** Variables whose bit is 1 in a measured outcome, sorted - the
+    selected set / true assignment. *)
+
+val is_independent_set : Qaoa_graph.Graph.t -> int list -> bool
+val is_vertex_cover : Qaoa_graph.Graph.t -> int list -> bool
+
+val count_satisfied : clause list -> int -> int
+(** Clauses of the list satisfied by a bit assignment. *)

@@ -1,0 +1,39 @@
+module Statevector = Qaoa_sim.Statevector
+module Sampler = Qaoa_sim.Sampler
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  shots : int;
+  confidence_95 : float * float;
+}
+
+let of_samples problem samples =
+  let shots = Array.length samples in
+  if shots = 0 then invalid_arg "Estimator.of_samples: no samples";
+  let costs = Array.map (Problem.cost problem) samples in
+  let mean = Array.fold_left ( +. ) 0.0 costs /. float_of_int shots in
+  let var =
+    Array.fold_left (fun acc c -> acc +. ((c -. mean) ** 2.0)) 0.0 costs
+    /. float_of_int shots
+  in
+  let std_error = sqrt (var /. float_of_int shots) in
+  {
+    mean;
+    std_error;
+    shots;
+    confidence_95 = (mean -. (1.96 *. std_error), mean +. (1.96 *. std_error));
+  }
+
+let of_state rng problem sv ~shots =
+  of_samples problem (Sampler.sample_many rng sv ~shots)
+
+let shots_for_precision problem sv ~std_error =
+  if std_error <= 0.0 then
+    invalid_arg "Estimator.shots_for_precision: std_error must be positive";
+  let mean = Statevector.expectation_diag sv (Problem.cost problem) in
+  let second =
+    Statevector.expectation_diag sv (fun b -> Problem.cost problem b ** 2.0)
+  in
+  let variance = Float.max 0.0 (second -. (mean *. mean)) in
+  int_of_float (Float.ceil (variance /. (std_error *. std_error)))

@@ -1,0 +1,29 @@
+(** Shot-statistics estimation of QAOA cost expectations.
+
+    The hybrid loop evaluates <C> from a finite number of samples
+    (paper Sec. II); this module quantifies that estimate's quality:
+    mean, standard error, confidence interval, and the shot count needed
+    to reach a target precision - the knob behind the paper's
+    40960-shot choice. *)
+
+type estimate = {
+  mean : float;
+  std_error : float;  (** sample std / sqrt(shots) *)
+  shots : int;
+  confidence_95 : float * float;  (** mean -/+ 1.96 std errors *)
+}
+
+val of_samples : Problem.t -> int array -> estimate
+(** Estimate <C> from measured logical bitstrings.
+    @raise Invalid_argument on an empty array. *)
+
+val of_state :
+  Qaoa_util.Rng.t -> Problem.t -> Qaoa_sim.Statevector.t -> shots:int -> estimate
+(** Sample the state and estimate - the simulated version of one
+    hybrid-loop objective evaluation. *)
+
+val shots_for_precision :
+  Problem.t -> Qaoa_sim.Statevector.t -> std_error:float -> int
+(** Shots needed so the standard error of <C> drops below [std_error],
+    from the exact variance of the cost under the state's distribution.
+    @raise Invalid_argument if [std_error <= 0]. *)

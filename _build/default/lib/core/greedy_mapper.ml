@@ -1,0 +1,143 @@
+module Graph = Qaoa_graph.Graph
+module Device = Qaoa_hardware.Device
+module Profile = Qaoa_hardware.Profile
+module Mapping = Qaoa_backend.Mapping
+module Float_matrix = Qaoa_util.Float_matrix
+module Rng = Qaoa_util.Rng
+
+(* Pick an element of [cands] maximizing [score], breaking ties at
+   random.  @raise Invalid_argument on []. *)
+let argmax_random rng score cands =
+  match cands with
+  | [] -> invalid_arg "Greedy_mapper: no candidates"
+  | first :: rest ->
+    let best, _, _ =
+      List.fold_left
+        (fun (bx, bs, nties) x ->
+          let s = score x in
+          if s > bs then (x, s, 1)
+          else if s = bs then
+            (* reservoir sampling over ties keeps the draw uniform *)
+            let nties = nties + 1 in
+            if Rng.int rng nties = 0 then (x, bs, nties) else (bx, bs, nties)
+          else (bx, bs, nties))
+        (first, score first, 1)
+        rest
+    in
+    best
+
+let unallocated_qubits device placed =
+  List.filter
+    (fun p -> not (Hashtbl.mem placed p))
+    (List.init (Device.num_qubits device) (fun i -> i))
+
+(* Shared skeleton: place logical qubits one at a time in [order]; the
+   position of each is chosen by [choose] given the physical locations of
+   its already-placed logical neighbors. *)
+let place_sequentially device problem order ~first ~choose =
+  let pg = Problem.interaction_graph problem in
+  let n = problem.Problem.num_vars in
+  let l2p = Array.make n (-1) in
+  let placed_phys = Hashtbl.create n in
+  List.iter
+    (fun l ->
+      let placed_neighbor_locs =
+        List.filter_map
+          (fun nb -> if l2p.(nb) >= 0 then Some l2p.(nb) else None)
+          (Graph.neighbors pg l)
+      in
+      let free = unallocated_qubits device placed_phys in
+      let p =
+        if Hashtbl.length placed_phys = 0 then first free
+        else choose free placed_neighbor_locs
+      in
+      l2p.(l) <- p;
+      Hashtbl.replace placed_phys p ())
+    order;
+  Mapping.of_array ~num_physical:(Device.num_qubits device) l2p
+
+let heaviest_first rng problem =
+  let ops = Problem.ops_per_qubit problem in
+  List.stable_sort
+    (fun a b -> compare ops.(b) ops.(a))
+    (Rng.shuffle_list rng (List.init problem.Problem.num_vars (fun i -> i)))
+
+let greedy_v rng device problem =
+  let dist = Profile.hop_distances device in
+  let deg p = Graph.degree device.Device.coupling p in
+  let cumulative_distance p locs =
+    List.fold_left (fun acc q -> acc +. Float_matrix.get dist p q) 0.0 locs
+  in
+  place_sequentially device problem (heaviest_first rng problem)
+    ~first:(fun free -> argmax_random rng (fun p -> float_of_int (deg p)) free)
+    ~choose:(fun free neighbor_locs ->
+      if neighbor_locs = [] then
+        argmax_random rng (fun p -> float_of_int (deg p)) free
+      else
+        argmax_random rng (fun p -> -.cumulative_distance p neighbor_locs) free)
+
+let greedy_e rng device problem =
+  (* All QAOA pairs interact exactly once per level, so the
+     heaviest-edge order degenerates to a random edge order. *)
+  let dist = Profile.hop_distances device in
+  let deg p = Graph.degree device.Device.coupling p in
+  let n = problem.Problem.num_vars in
+  let edges = Rng.shuffle_list rng (Problem.cphase_pairs problem) in
+  let l2p = Array.make n (-1) in
+  let placed_phys = Hashtbl.create n in
+  let free () = unallocated_qubits device placed_phys in
+  let place l p =
+    l2p.(l) <- p;
+    Hashtbl.replace placed_phys p ()
+  in
+  let free_neighbors p =
+    List.filter
+      (fun q -> not (Hashtbl.mem placed_phys q))
+      (Graph.neighbors device.Device.coupling p)
+  in
+  let place_one_near anchor l =
+    (* Free physical qubit closest to [anchor], preferring couplings. *)
+    match free_neighbors anchor with
+    | [] ->
+      let p =
+        argmax_random rng
+          (fun p -> -.Float_matrix.get dist p anchor)
+          (free ())
+      in
+      place l p
+    | cands -> place l (argmax_random rng (fun p -> float_of_int (deg p)) cands)
+  in
+  List.iter
+    (fun (a, b) ->
+      match (l2p.(a) >= 0, l2p.(b) >= 0) with
+      | true, true -> ()
+      | true, false -> place_one_near l2p.(a) b
+      | false, true -> place_one_near l2p.(b) a
+      | false, false ->
+        (* Free coupled pair with the largest degree sum. *)
+        let coupled_free =
+          List.filter
+            (fun (p, q) ->
+              not (Hashtbl.mem placed_phys p) && not (Hashtbl.mem placed_phys q))
+            (Device.coupling_edges device)
+        in
+        (match coupled_free with
+        | [] ->
+          let p = argmax_random rng (fun p -> float_of_int (deg p)) (free ()) in
+          place a p;
+          place_one_near p b
+        | _ ->
+          let p, q =
+            argmax_random rng
+              (fun (p, q) -> float_of_int (deg p + deg q))
+              coupled_free
+          in
+          place a p;
+          place b q))
+    edges;
+  (* Isolated variables (no quadratic term) still need homes. *)
+  for l = 0 to n - 1 do
+    if l2p.(l) < 0 then
+      place l (argmax_random rng (fun p -> float_of_int (deg p)) (free ()))
+  done;
+  Mapping.of_array ~num_physical:(Device.num_qubits device) l2p

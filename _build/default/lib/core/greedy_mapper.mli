@@ -1,0 +1,18 @@
+(** GreedyV and GreedyE initial-mapping baselines (Murali et al.,
+    ASPLOS'19; paper Sec. III "Initial Mapping").
+
+    - {b GreedyV} places program qubits heaviest-first (most two-qubit
+      operations): the heaviest on the physical qubit of maximum degree,
+      each subsequent one on the free physical qubit minimizing the
+      cumulative distance to its already-placed logical neighbors.
+    - {b GreedyE} places program CNOT pairs heaviest-edge-first (most
+      operations between the two qubits).  In QAOA circuits every pair
+      interacts at most once per level, so all edges tie - the paper's
+      motivation for why GreedyE suits these circuits poorly (Sec. III,
+      "Motivating Factors"); it is provided as a baseline regardless. *)
+
+val greedy_v :
+  Qaoa_util.Rng.t -> Qaoa_hardware.Device.t -> Problem.t -> Qaoa_backend.Mapping.t
+
+val greedy_e :
+  Qaoa_util.Rng.t -> Qaoa_hardware.Device.t -> Problem.t -> Qaoa_backend.Mapping.t

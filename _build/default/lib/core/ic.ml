@@ -1,0 +1,102 @@
+module Gate = Qaoa_circuit.Gate
+module Device = Qaoa_hardware.Device
+module Profile = Qaoa_hardware.Profile
+module Mapping = Qaoa_backend.Mapping
+module Router = Qaoa_backend.Router
+module Stitcher = Qaoa_backend.Stitcher
+module Float_matrix = Qaoa_util.Float_matrix
+module Rng = Qaoa_util.Rng
+
+type config = {
+  packing_limit : int option;
+  variation_aware : bool;
+  router : Router.config;
+}
+
+let default_config =
+  {
+    packing_limit = None;
+    variation_aware = false;
+    router = Router.default_config;
+  }
+
+let form_layer ?packing_limit rng ~dist ~phys remaining =
+  (match packing_limit with
+  | Some l when l < 1 -> invalid_arg "Ic.form_layer: packing limit < 1"
+  | _ -> ());
+  let distance (a, b) = Float_matrix.get dist (phys a) (phys b) in
+  (* Ascending distance, ties random (shuffle + stable sort). *)
+  let sorted =
+    List.stable_sort
+      (fun x y -> compare (distance x) (distance y))
+      (Rng.shuffle_list rng remaining)
+  in
+  let cap = Option.value ~default:max_int packing_limit in
+  let used = Hashtbl.create 16 in
+  let layer = ref [] and rest = ref [] and size = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      if
+        !size < cap && (not (Hashtbl.mem used a)) && not (Hashtbl.mem used b)
+      then begin
+        Hashtbl.replace used a ();
+        Hashtbl.replace used b ();
+        layer := (a, b) :: !layer;
+        incr size
+      end
+      else rest := (a, b) :: !rest)
+    sorted;
+  (List.rev !layer, List.rev !rest)
+
+let compile ?(config = default_config) ?(measure = true) rng device ~initial
+    problem params =
+  let num_logical = problem.Problem.num_vars in
+  let dist = Profile.distance_matrix ~variation_aware:config.variation_aware device in
+  (* VIC's variation awareness extends to SWAP insertion: the backend
+     scores swaps with the same reliability-weighted distances, so qubit
+     movement also avoids unreliable couplings (cf. VQM, Sec. III). *)
+  let config =
+    if config.variation_aware then
+      {
+        config with
+        router = { config.router with Router.reliability_aware = true };
+      }
+    else config
+  in
+  let p = Ansatz.levels params in
+  let mapping = ref initial in
+  let partials = ref [] in
+  let route_partial layers =
+    let r =
+      Router.route_layers ~config:config.router ~device ~initial:!mapping
+        ~num_logical layers
+    in
+    mapping := r.Router.final_mapping;
+    partials := r :: !partials
+  in
+  (* Hadamard wall at the initial mapping. *)
+  route_partial [ List.init num_logical (fun q -> Gate.H q) ];
+  for level = 0 to p - 1 do
+    let gamma = params.Ansatz.gammas.(level) in
+    let rec cost_layers remaining =
+      if remaining <> [] then begin
+        let layer, rest =
+          form_layer ?packing_limit:config.packing_limit rng ~dist
+            ~phys:(Mapping.phys !mapping) remaining
+        in
+        route_partial
+          [ List.map (Ansatz.cphase_gate problem ~gamma) layer ];
+        cost_layers rest
+      end
+    in
+    cost_layers (Problem.cphase_pairs problem);
+    (* Linear terms are one-qubit and commute with the CPHASEs; emit them
+       after the pair layers, then the mixer wall. *)
+    (match Ansatz.linear_gates problem ~gamma with
+    | [] -> ()
+    | rzs -> route_partial [ rzs ]);
+    route_partial [ Ansatz.mixer_gates problem ~beta:params.Ansatz.betas.(level) ]
+  done;
+  if measure then
+    route_partial [ List.init num_logical (fun q -> Gate.Measure q) ];
+  Stitcher.stitch_results (List.rev !partials)

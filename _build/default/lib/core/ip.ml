@@ -1,0 +1,78 @@
+module Rng = Qaoa_util.Rng
+
+let rank problem =
+  let ops = Problem.ops_per_qubit problem in
+  fun (a, b) -> ops.(a) + ops.(b)
+
+let minimum_layers = Problem.max_ops_per_qubit
+
+let moq_of_pairs num_vars pairs =
+  let ops = Array.make num_vars 0 in
+  List.iter
+    (fun (a, b) ->
+      ops.(a) <- ops.(a) + 1;
+      ops.(b) <- ops.(b) + 1)
+    pairs;
+  Array.fold_left max 0 ops
+
+let sort_by_rank_desc rng rank_of pairs =
+  (* Shuffle first so that equal-rank gates are ordered randomly under the
+     stable sort (Fig. 4(d): "similar ranked CPHASE operations are ordered
+     randomly"). *)
+  List.stable_sort
+    (fun a b -> compare (rank_of b) (rank_of a))
+    (Rng.shuffle_list rng pairs)
+
+(* One packing round (Fig. 4(e,f)): MOQ layers of bins, first-fit in rank
+   order; gates that fit nowhere are returned for the next round. *)
+let pack_round ?packing_limit num_vars sorted =
+  let moq = max 1 (moq_of_pairs num_vars sorted) in
+  let occupied = Array.make_matrix moq num_vars false in
+  let sizes = Array.make moq 0 in
+  let layers = Array.make moq [] in
+  let cap = Option.value ~default:max_int packing_limit in
+  let unassigned =
+    List.filter
+      (fun (a, b) ->
+        let rec try_layer l =
+          if l >= moq then true (* keep for the next round *)
+          else if
+            (not occupied.(l).(a)) && (not occupied.(l).(b)) && sizes.(l) < cap
+          then begin
+            occupied.(l).(a) <- true;
+            occupied.(l).(b) <- true;
+            sizes.(l) <- sizes.(l) + 1;
+            layers.(l) <- (a, b) :: layers.(l);
+            false
+          end
+          else try_layer (l + 1)
+        in
+        try_layer 0)
+      sorted
+  in
+  let formed =
+    Array.to_list layers |> List.filter_map (function
+      | [] -> None
+      | l -> Some (List.rev l))
+  in
+  (formed, unassigned)
+
+let pack_layers ?packing_limit rng problem =
+  (match packing_limit with
+  | Some l when l < 1 -> invalid_arg "Ip.pack_layers: packing limit < 1"
+  | _ -> ());
+  let rank_of = rank problem in
+  let num_vars = problem.Problem.num_vars in
+  let rec rounds pairs acc =
+    match pairs with
+    | [] -> List.concat (List.rev acc)
+    | _ ->
+      let sorted = sort_by_rank_desc rng rank_of pairs in
+      let formed, unassigned = pack_round ?packing_limit num_vars sorted in
+      (* [pack_round] always places at least the first gate of a non-empty
+         round, so this terminates. *)
+      rounds unassigned (formed :: acc)
+  in
+  rounds (Problem.cphase_pairs problem) []
+
+let order rng problem = List.concat (pack_layers rng problem)

@@ -1,0 +1,31 @@
+(** IP - Instruction Parallelization (paper Sec. IV.B, Fig. 4).
+
+    The CPHASE gates of one QAOA cost layer commute, so choosing which
+    gates share a time step is a binary bin-packing problem: MOQ empty
+    layers of qubit bins (MOQ = the maximum number of operations on any
+    single qubit - a lower bound on the achievable layer count), filled
+    first-fit in decreasing rank order, where a gate's rank is the summed
+    operation counts of its two qubits.  Gates that fit nowhere are
+    re-packed in a fresh round of layers.
+
+    The resulting layer sequence is handed to the backend compiler in one
+    piece (contrast with IC, which compiles layer-at-a-time). *)
+
+val rank : Problem.t -> int * int -> int
+(** Cumulative operations of the pair's qubits (Fig. 4(c)). *)
+
+val pack_layers :
+  ?packing_limit:int ->
+  Qaoa_util.Rng.t ->
+  Problem.t ->
+  (int * int) list list
+(** Layers of qubit-disjoint pairs covering every quadratic term exactly
+    once.  [packing_limit] caps gates per layer (Sec. V.H); unlimited by
+    default.  Ties in rank are ordered randomly. *)
+
+val order : Qaoa_util.Rng.t -> Problem.t -> (int * int) list
+(** Flattened [pack_layers]: the CPHASE sequence fed to the compiler
+    (Fig. 4(d) bottom). *)
+
+val minimum_layers : Problem.t -> int
+(** MOQ - the best-case layer count (Fig. 4(b)). *)

@@ -1,0 +1,58 @@
+module Metrics = Qaoa_circuit.Metrics
+module Device = Qaoa_hardware.Device
+
+type objective = Depth | Gate_count | Success_probability
+
+let objective_name = function
+  | Depth -> "depth"
+  | Gate_count -> "gate-count"
+  | Success_probability -> "success-probability"
+
+type result = {
+  best : Compile.result;
+  rounds : int;
+  improvements : int;
+  total_time : float;
+}
+
+(* Lower is better for every objective (success probability negated). *)
+let score objective device (r : Compile.result) =
+  match objective with
+  | Depth -> float_of_int r.Compile.metrics.Metrics.depth
+  | Gate_count -> float_of_int r.Compile.metrics.Metrics.gate_count
+  | Success_probability -> -.Compile.success_probability device r
+
+let compile ?(patience = 5) ?(max_rounds = 50) ?(objective = Depth)
+    ?(base = Compile.default_options) ~strategy device problem params =
+  if patience < 1 || max_rounds < 1 then
+    invalid_arg "Iterative.compile: patience and max_rounds must be >= 1";
+  let t0 = Sys.time () in
+  let compile_round i =
+    Compile.compile
+      ~options:{ base with Compile.seed = base.Compile.seed + i }
+      ~strategy device problem params
+  in
+  let first = compile_round 0 in
+  let best = ref first in
+  let best_score = ref (score objective device first) in
+  let rounds = ref 1 in
+  let improvements = ref 0 in
+  let stale = ref 0 in
+  while !stale < patience && !rounds < max_rounds do
+    let candidate = compile_round !rounds in
+    incr rounds;
+    let s = score objective device candidate in
+    if s < !best_score then begin
+      best := candidate;
+      best_score := s;
+      incr improvements;
+      stale := 0
+    end
+    else incr stale
+  done;
+  {
+    best = !best;
+    rounds = !rounds;
+    improvements = !improvements;
+    total_time = Sys.time () -. t0;
+  }

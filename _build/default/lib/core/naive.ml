@@ -1,0 +1,7 @@
+let initial_mapping rng device problem =
+  Qaoa_backend.Mapping.random rng
+    ~num_logical:problem.Problem.num_vars
+    ~num_physical:(Qaoa_hardware.Device.num_qubits device)
+
+let cphase_order rng problem =
+  Qaoa_util.Rng.shuffle_list rng (Problem.cphase_pairs problem)

@@ -1,0 +1,12 @@
+(** The NAIVE baseline (paper Sec. IV): a uniformly random
+    logical-to-physical initial mapping combined with a randomly ordered
+    CPHASE gate sequence, compiled by the backend as-is.  Every proposed
+    methodology is quantified against this configuration. *)
+
+val initial_mapping :
+  Qaoa_util.Rng.t -> Qaoa_hardware.Device.t -> Problem.t -> Qaoa_backend.Mapping.t
+(** Uniform random injection of the problem's variables into the device's
+    physical qubits. *)
+
+val cphase_order : Qaoa_util.Rng.t -> Problem.t -> (int * int) list
+(** Random permutation of the problem's CPHASE pair list. *)

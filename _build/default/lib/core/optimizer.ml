@@ -1,0 +1,120 @@
+type options = { max_iterations : int; tolerance : float }
+
+let default_options = { max_iterations = 500; tolerance = 1e-6 }
+
+let nelder_mead ?(options = default_options) ?(maximize = false) ~initial
+    ~step f =
+  let n = Array.length initial in
+  if n = 0 then invalid_arg "Optimizer.nelder_mead: empty initial point";
+  let eval x = if maximize then -.f x else f x in
+  (* Simplex of n+1 points with their values, kept sorted by value. *)
+  let points =
+    Array.init (n + 1) (fun i ->
+        let x = Array.copy initial in
+        if i > 0 then x.(i - 1) <- x.(i - 1) +. step;
+        (x, eval x))
+  in
+  let sort () = Array.sort (fun (_, a) (_, b) -> compare a b) points in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* all but the worst point *)
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (fst points.(i)).(j)
+      done
+    done;
+    Array.map (fun v -> v /. float_of_int n) c
+  in
+  let combine a wa b wb = Array.init n (fun i -> (wa *. a.(i)) +. (wb *. b.(i))) in
+  sort ();
+  let iter = ref 0 in
+  let spread () =
+    let _, best = points.(0) and _, worst = points.(n) in
+    Float.abs (worst -. best)
+  in
+  while !iter < options.max_iterations && spread () > options.tolerance do
+    incr iter;
+    let c = centroid () in
+    let xw, fw = points.(n) in
+    let _, fbest = points.(0) in
+    let _, fsecond = points.(n - 1) in
+    (* Reflection *)
+    let xr = combine c 2.0 xw (-1.0) in
+    let fr = eval xr in
+    if fr < fbest then begin
+      (* Expansion *)
+      let xe = combine c 3.0 xw (-2.0) in
+      let fe = eval xe in
+      if fe < fr then points.(n) <- (xe, fe) else points.(n) <- (xr, fr)
+    end
+    else if fr < fsecond then points.(n) <- (xr, fr)
+    else begin
+      (* Contraction *)
+      let xc = combine c 0.5 xw 0.5 in
+      let fc = eval xc in
+      if fc < fw then points.(n) <- (xc, fc)
+      else begin
+        (* Shrink towards the best point *)
+        let xb, _ = points.(0) in
+        for i = 1 to n do
+          let xi, _ = points.(i) in
+          let xs = combine xb 0.5 xi 0.5 in
+          points.(i) <- (xs, eval xs)
+        done
+      end
+    end;
+    sort ()
+  done;
+  let x, v = points.(0) in
+  (x, if maximize then -.v else v)
+
+let optimize_p1 ?(grid = 24) ?options f =
+  let best = ref (0.0, 0.0) and best_val = ref neg_infinity in
+  for i = 0 to grid - 1 do
+    for j = 0 to grid - 1 do
+      let gamma = Float.pi *. float_of_int i /. float_of_int grid in
+      let beta = Float.pi /. 2.0 *. float_of_int j /. float_of_int grid in
+      let v = f ~gamma ~beta in
+      if v > !best_val then begin
+        best := (gamma, beta);
+        best_val := v
+      end
+    done
+  done;
+  let g0, b0 = !best in
+  let x, v =
+    nelder_mead ?options ~maximize:true ~initial:[| g0; b0 |]
+      ~step:(Float.pi /. (2.0 *. float_of_int grid))
+      (fun x -> f ~gamma:x.(0) ~beta:x.(1))
+  in
+  (Ansatz.params_p1 ~gamma:x.(0) ~beta:x.(1), v)
+
+let optimize_params ?options rng ~p f =
+  if p <= 0 then invalid_arg "Optimizer.optimize_params: p must be positive";
+  let unpack x =
+    {
+      Ansatz.gammas = Array.sub x 0 p;
+      betas = Array.sub x p p;
+    }
+  in
+  let objective x = f (unpack x) in
+  let run_start () =
+    let initial =
+      Array.init (2 * p) (fun i ->
+          if i < p then Qaoa_util.Rng.float rng Float.pi
+          else Qaoa_util.Rng.float rng (Float.pi /. 2.0))
+    in
+    nelder_mead ?options ~maximize:true ~initial ~step:0.1 objective
+  in
+  let best =
+    List.fold_left
+      (fun acc _ ->
+        let x, v = run_start () in
+        match acc with
+        | Some (_, bv) when bv >= v -> acc
+        | _ -> Some (x, v))
+      None [ 1; 2; 3; 4 ]
+  in
+  match best with
+  | Some (x, v) -> (unpack x, v)
+  | None -> assert false

@@ -1,0 +1,44 @@
+(** Derivative-free classical optimizers for the QAOA hybrid loop.
+
+    The paper drives its hardware-validation experiments with SciPy's
+    L-BFGS-B (Sec. V.G); any derivative-free optimizer reaching the same
+    optimum of the smooth, low-dimensional QAOA landscape is an adequate
+    substitute (DESIGN.md, substitution 3).  Nelder-Mead is implemented
+    here, plus a grid-seeded convenience wrapper for p=1. *)
+
+type options = {
+  max_iterations : int;  (** default 500 *)
+  tolerance : float;  (** simplex spread convergence limit, default 1e-6 *)
+}
+
+val default_options : options
+
+val nelder_mead :
+  ?options:options ->
+  ?maximize:bool ->
+  initial:float array ->
+  step:float ->
+  (float array -> float) ->
+  float array * float
+(** [nelder_mead ~initial ~step f] runs the downhill-simplex method from
+    a simplex spanned by [initial] and [initial + step * e_i].  Returns
+    the best point and its value.  [maximize] (default false) negates the
+    objective internally. *)
+
+val optimize_p1 :
+  ?grid:int ->
+  ?options:options ->
+  (gamma:float -> beta:float -> float) ->
+  Ansatz.params * float
+(** Maximize a p=1 objective over (gamma, beta) in [0, pi) x [0, pi/2):
+    coarse [grid] x [grid] scan (default 24) then Nelder-Mead
+    refinement. *)
+
+val optimize_params :
+  ?options:options ->
+  Qaoa_util.Rng.t ->
+  p:int ->
+  (Ansatz.params -> float) ->
+  Ansatz.params * float
+(** Maximize a p-level objective with Nelder-Mead multistart (4 random
+    starts), for the general ansatz where no closed form exists. *)

@@ -1,0 +1,103 @@
+module Graph = Qaoa_graph.Graph
+module Int_map = Map.Make (Int)
+
+module Pair_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  num_vars : int;
+  quadratic : (int * int * float) list;
+  linear : (int * float) list;
+  constant : float;
+}
+
+let create ?(linear = []) ?(constant = 0.0) ~num_vars quadratic =
+  let check v =
+    if v < 0 || v >= num_vars then
+      invalid_arg "Problem.create: variable out of range"
+  in
+  let quad_map =
+    List.fold_left
+      (fun acc (i, j, c) ->
+        check i;
+        check j;
+        if i = j then invalid_arg "Problem.create: diagonal quadratic term";
+        Pair_map.update
+          (min i j, max i j)
+          (fun prev -> Some (c +. Option.value ~default:0.0 prev))
+          acc)
+      Pair_map.empty quadratic
+  in
+  let quadratic =
+    Pair_map.fold
+      (fun (i, j) c acc -> if c = 0.0 then acc else (i, j, c) :: acc)
+      quad_map []
+    |> List.sort compare
+  in
+  let lin_map =
+    List.fold_left
+      (fun acc (i, c) ->
+        check i;
+        Int_map.update i
+          (fun prev -> Some (c +. Option.value ~default:0.0 prev))
+          acc)
+      Int_map.empty linear
+  in
+  let linear =
+    Int_map.fold (fun i c acc -> if c = 0.0 then acc else (i, c) :: acc) lin_map []
+    |> List.sort compare
+  in
+  { num_vars; quadratic; linear; constant }
+
+let of_maxcut ?(weights = fun _ -> 1.0) g =
+  (* cut = sum w (1 - s_u s_v) / 2  =  (sum w)/2  -  sum (w/2) s_u s_v *)
+  let edges = Graph.edges g in
+  let total_w = List.fold_left (fun acc e -> acc +. weights e) 0.0 edges in
+  create ~constant:(total_w /. 2.0) ~num_vars:(Graph.num_vertices g)
+    (List.map (fun (u, v) -> (u, v, -.(weights (u, v)) /. 2.0)) edges)
+
+let interaction_graph t =
+  Graph.of_edges t.num_vars (List.map (fun (i, j, _) -> (i, j)) t.quadratic)
+
+let cphase_pairs t =
+  List.sort compare (List.map (fun (i, j, _) -> (i, j)) t.quadratic)
+
+let spin bits i = if bits land (1 lsl i) = 0 then 1.0 else -1.0
+
+let cost t bits =
+  let quad =
+    List.fold_left
+      (fun acc (i, j, c) -> acc +. (c *. spin bits i *. spin bits j))
+      0.0 t.quadratic
+  in
+  let lin =
+    List.fold_left (fun acc (i, c) -> acc +. (c *. spin bits i)) 0.0 t.linear
+  in
+  t.constant +. quad +. lin
+
+let brute_force_best t =
+  if t.num_vars > 24 then
+    invalid_arg "Problem.brute_force_best: too many variables";
+  let best = ref 0 and best_cost = ref (cost t 0) in
+  for bits = 1 to (1 lsl t.num_vars) - 1 do
+    let c = cost t bits in
+    if c > !best_cost then begin
+      best := bits;
+      best_cost := c
+    end
+  done;
+  (!best, !best_cost)
+
+let ops_per_qubit t =
+  let ops = Array.make t.num_vars 0 in
+  List.iter
+    (fun (i, j, _) ->
+      ops.(i) <- ops.(i) + 1;
+      ops.(j) <- ops.(j) + 1)
+    t.quadratic;
+  ops
+
+let max_ops_per_qubit t = Array.fold_left max 0 (ops_per_qubit t)

@@ -1,0 +1,64 @@
+(** Combinatorial optimization problems in Ising form.
+
+    Any NP-hard cost function can be written over spin variables
+    s_i = +/-1 as
+
+      C(s) = constant + sum_i h_i s_i + sum_(i<j) J_ij s_i s_j
+
+    (paper Sec. II "QAOA-circuits" and Sec. VI "Applicability beyond
+    QAOA-MaxCut").  Each quadratic term becomes one CPHASE gate in the
+    cost layer; each linear term becomes an RZ.
+
+    The convention here is {b maximization}: QAOA searches for the
+    bitstring of highest [cost].  Bitstrings are basis-state indices with
+    qubit [i] at bit [i]; bit value 0 means s_i = +1, bit value 1 means
+    s_i = -1. *)
+
+type t = {
+  num_vars : int;
+  quadratic : (int * int * float) list;
+      (** [(i, j, coeff)] with [i <> j]; duplicates are summed by
+          {!create}. *)
+  linear : (int * float) list;
+  constant : float;
+}
+
+val create :
+  ?linear:(int * float) list ->
+  ?constant:float ->
+  num_vars:int ->
+  (int * int * float) list ->
+  t
+(** Normalizes terms: orders pairs as [(min, max)], merges duplicates,
+    drops zero coefficients.  @raise Invalid_argument on out-of-range
+    variables or i = j quadratic terms. *)
+
+val of_maxcut : ?weights:(int * int -> float) -> Qaoa_graph.Graph.t -> t
+(** MaxCut objective: cut(s) = sum_edges w_uv (1 - s_u s_v) / 2.
+    [weights] defaults to 1 on every edge. *)
+
+val interaction_graph : t -> Qaoa_graph.Graph.t
+(** Graph with one edge per quadratic term - the problem graph whose
+    structure drives all mapping heuristics. *)
+
+val cphase_pairs : t -> (int * int) list
+(** Qubit pairs of the cost layer's CPHASE gates, [(min, max)], sorted -
+    the "CPHASE gate list input" of Fig. 4(a). *)
+
+val spin : int -> int -> float
+(** [spin bits i] is +1.0 if bit [i] of [bits] is 0, else -1.0. *)
+
+val cost : t -> int -> float
+(** Objective value of a bitstring (basis index). *)
+
+val brute_force_best : t -> int * float
+(** Exhaustive maximum: (argmax bitstring, max cost).  O(2^n * terms);
+    intended for n <= ~24.  @raise Invalid_argument for larger n. *)
+
+val ops_per_qubit : t -> int array
+(** Number of quadratic terms touching each variable - the "program
+    profile" of QAIM and IP (Fig. 3(c), Fig. 4(b)). *)
+
+val max_ops_per_qubit : t -> int
+(** MOQ of Fig. 4(b): maximum of {!ops_per_qubit} (0 when there are no
+    quadratic terms). *)

@@ -1,0 +1,42 @@
+(** One-call QAOA solving: the end-to-end pipeline a downstream user
+    reaches for first.
+
+    [solve] strings together the library's pieces: pick circuit
+    parameters (closed form for unweighted MaxCut at p = 1, simulator
+    Nelder-Mead otherwise), compile for the device with the chosen
+    strategy, execute (noiseless statevector sampling, or trajectory
+    noise when the device is calibrated and [noisy] is set), translate
+    physical outcomes through the final mapping, and return the best
+    sampled solution with quality diagnostics. *)
+
+type execution = Ideal | Noisy
+(** [Noisy] needs device calibration and uses the stochastic-Pauli
+    trajectory simulator (readout flips included). *)
+
+type outcome = {
+  best_bits : int;  (** best sampled logical bitstring *)
+  best_cost : float;
+  approximation_ratio : float;
+      (** mean sampled cost / brute-force optimum (problems up to 24
+          variables; beyond that the ratio is against the best sample) *)
+  mean_cost : float;
+  optimum : float option;  (** brute-force optimum when tractable *)
+  params : Ansatz.params;
+  compiled : Compile.result;
+}
+
+val solve :
+  ?strategy:Compile.strategy ->
+  ?p:int ->
+  ?shots:int ->
+  ?execution:execution ->
+  ?seed:int ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  outcome
+(** Defaults: [strategy = Ic None], [p = 1], [shots = 2048],
+    [execution = Ideal], [seed = 42].
+
+    @raise Invalid_argument if the problem exceeds the device, if
+    [Noisy] is requested without calibration, or if the problem has no
+    quadratic terms at all (nothing to optimize variationally). *)

@@ -1,0 +1,28 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Decompose = Qaoa_circuit.Decompose
+module Calibration = Qaoa_hardware.Calibration
+module Device = Qaoa_hardware.Device
+
+let fold_log_success ?(include_readout = false) cal circuit =
+  let c = Decompose.circuit circuit in
+  let e1 = Calibration.single_qubit_error cal in
+  let ro = Calibration.readout_error cal in
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Cnot (a, b) -> acc +. log (1.0 -. Calibration.cnot_error cal a b)
+      | Gate.Barrier -> acc
+      | Gate.Measure _ ->
+        if include_readout then acc +. log (1.0 -. ro) else acc
+      | Gate.Cphase _ | Gate.Swap _ -> assert false (* decomposed *)
+      | _ -> acc +. log (1.0 -. e1))
+    0.0 (Circuit.gates c)
+
+let log_success cal circuit = fold_log_success cal circuit
+
+let of_circuit ?include_readout cal circuit =
+  exp (fold_log_success ?include_readout cal circuit)
+
+let of_result ?include_readout device (r : Qaoa_backend.Router.result) =
+  of_circuit ?include_readout (Device.calibration_exn device) r.circuit

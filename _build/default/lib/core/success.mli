@@ -1,0 +1,27 @@
+(** Compiled-circuit success probability (paper Sec. II).
+
+    The success probability of a circuit is the product of the success
+    probabilities (1 - error rate) of its individual gates, evaluated on
+    the basis-decomposed circuit: per-coupling CNOT rates, the scalar
+    one-qubit rate, and optionally the readout rate per measurement.
+    Fig. 10 compares VIC against IC on exactly this metric. *)
+
+val of_circuit :
+  ?include_readout:bool ->
+  Qaoa_hardware.Calibration.t ->
+  Qaoa_circuit.Circuit.t ->
+  float
+(** [include_readout] defaults to false (the gate-only product the paper
+    uses).  @raise Not_found if a CNOT pair has no calibrated rate. *)
+
+val of_result :
+  ?include_readout:bool ->
+  Qaoa_hardware.Device.t ->
+  Qaoa_backend.Router.result ->
+  float
+(** Success probability of a router result on the device's calibration.
+    @raise Invalid_argument if the device has no calibration. *)
+
+val log_success : Qaoa_hardware.Calibration.t -> Qaoa_circuit.Circuit.t -> float
+(** Natural log of [of_circuit] computed by summation - numerically
+    stable for deep circuits whose product underflows. *)

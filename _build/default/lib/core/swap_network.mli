@@ -1,0 +1,37 @@
+(** SWAP-network compilation for dense QAOA cost layers.
+
+    The paper's heuristics shine on sparse problems; for dense graphs the
+    known alternative (Kivlichan et al., O'Gorman et al.) is an odd-even
+    transposition network along a hardware line: n layers of alternating
+    adjacent SWAPs bring {i every} pair of logical qubits adjacent
+    exactly once, so a complete cost layer compiles in Theta(n) depth
+    with n(n-1)/2 SWAPs regardless of the interaction pattern.  Each
+    meeting emits the pair's CPHASE (if the problem couples it) followed
+    by the SWAP that advances the network.
+
+    The network needs a Hamiltonian path ("line") through the device;
+    [serpentine_line] provides one for grid devices, and linear/ring
+    devices are lines trivially.  This module serves as the dense-graph
+    comparator in the ablation benches - the crossover against IC is
+    exactly the regime boundary the paper's Sec. VI "usage of
+    methodologies" discussion asks about. *)
+
+val serpentine_line : rows:int -> cols:int -> int list
+(** Row-by-row boustrophedon Hamiltonian path of a grid device, in the
+    vertex numbering of {!Qaoa_graph.Generators.grid}. *)
+
+val compile :
+  ?measure:bool ->
+  line:int list ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Ansatz.params ->
+  Qaoa_backend.Router.result
+(** [compile ~line device problem params] places logical qubit [i] on
+    [List.nth line i] and runs one full swap network per QAOA level
+    (consecutive levels run the network in alternating directions, so
+    qubits return home every two levels; the final mapping is tracked
+    either way).
+
+    @raise Invalid_argument if [line] is not a simple path in the
+    device's coupling graph, or shorter than the problem. *)

@@ -1,0 +1,6 @@
+let config ?packing_limit ?(router = Qaoa_backend.Router.default_config) () =
+  { Ic.packing_limit; variation_aware = true; router }
+
+let compile ?packing_limit ?router ?measure rng device ~initial problem params =
+  Ic.compile ~config:(config ?packing_limit ?router ()) ?measure rng device
+    ~initial problem params

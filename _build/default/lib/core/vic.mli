@@ -1,0 +1,24 @@
+(** VIC - Variation-aware Incremental Compilation (paper Sec. IV.D).
+
+    VIC is IC with the hop-distance matrix replaced by the
+    reliability-weighted one: the distance between coupled qubits is the
+    inverse of their CPHASE success rate (Fig. 6(d)), so layer formation
+    prioritizes operations that execute reliably under the current
+    mapping and defers the rest until SWAP insertion has drifted them
+    toward better paths.  See {!Ic} for the shared machinery. *)
+
+val config : ?packing_limit:int -> ?router:Qaoa_backend.Router.config -> unit -> Ic.config
+(** An {!Ic.config} with [variation_aware = true]. *)
+
+val compile :
+  ?packing_limit:int ->
+  ?router:Qaoa_backend.Router.config ->
+  ?measure:bool ->
+  Qaoa_util.Rng.t ->
+  Qaoa_hardware.Device.t ->
+  initial:Qaoa_backend.Mapping.t ->
+  Problem.t ->
+  Ansatz.params ->
+  Qaoa_backend.Router.result
+(** [Ic.compile] with the variation-aware distance matrix.
+    @raise Invalid_argument if the device carries no calibration data. *)

@@ -1,0 +1,118 @@
+module Graph = Qaoa_graph.Graph
+module Device = Qaoa_hardware.Device
+module Calibration = Qaoa_hardware.Calibration
+module Profile = Qaoa_hardware.Profile
+module Mapping = Qaoa_backend.Mapping
+module Float_matrix = Qaoa_util.Float_matrix
+module Rng = Qaoa_util.Rng
+
+let link_success cal u v =
+  match Calibration.cnot_error_opt cal u v with
+  | Some e -> 1.0 -. e
+  | None -> 0.0
+
+let select_region device ~k =
+  let cal = Device.calibration_exn device in
+  let n = Device.num_qubits device in
+  if k > n then invalid_arg "Vqa.select_region: k exceeds device size";
+  let coupling = device.Device.coupling in
+  let incident_sum q =
+    List.fold_left
+      (fun acc v -> acc +. link_success cal q v)
+      0.0 (Graph.neighbors coupling q)
+  in
+  let seed =
+    List.fold_left
+      (fun best q ->
+        match best with
+        | None -> Some q
+        | Some b -> if incident_sum q > incident_sum b then Some q else best)
+      None
+      (List.init n (fun i -> i))
+  in
+  let region = Hashtbl.create k in
+  (match seed with
+  | Some s -> Hashtbl.replace region s ()
+  | None -> invalid_arg "Vqa.select_region: empty device");
+  while Hashtbl.length region < k do
+    (* outside qubit with the largest reliability into the region,
+       falling back to the best-connected outsider when the frontier is
+       empty (disconnected coupling graphs) *)
+    let gain q =
+      List.fold_left
+        (fun acc v ->
+          if Hashtbl.mem region v then acc +. link_success cal q v else acc)
+        0.0 (Graph.neighbors coupling q)
+    in
+    let outside =
+      List.filter (fun q -> not (Hashtbl.mem region q)) (List.init n (fun i -> i))
+    in
+    let best =
+      List.fold_left
+        (fun best q ->
+          match best with
+          | None -> Some q
+          | Some b ->
+            let gq = gain q and gb = gain b in
+            if gq > gb || (gq = gb && incident_sum q > incident_sum b) then
+              Some q
+            else best)
+        None outside
+    in
+    match best with
+    | Some q -> Hashtbl.replace region q ()
+    | None -> assert false (* k <= n guarantees an outside qubit *)
+  done;
+  List.sort compare (Hashtbl.fold (fun q () acc -> q :: acc) region [])
+
+let initial_mapping rng device problem =
+  let k = problem.Problem.num_vars in
+  let region = select_region device ~k in
+  let in_region = Hashtbl.create k in
+  List.iter (fun q -> Hashtbl.replace in_region q ()) region;
+  let dist = Profile.hop_distances device in
+  let pg = Problem.interaction_graph problem in
+  let ops = Problem.ops_per_qubit problem in
+  let order =
+    List.stable_sort
+      (fun a b -> compare ops.(b) ops.(a))
+      (Rng.shuffle_list rng (List.init k (fun i -> i)))
+  in
+  let cal = Device.calibration_exn device in
+  let l2p = Array.make k (-1) in
+  let taken = Hashtbl.create k in
+  let free () =
+    List.filter (fun q -> not (Hashtbl.mem taken q)) region
+  in
+  let incident q =
+    List.fold_left
+      (fun acc v -> acc +. link_success cal q v)
+      0.0
+      (Graph.neighbors device.Device.coupling q)
+  in
+  let argmax score = function
+    | [] -> invalid_arg "Vqa.initial_mapping: no free region qubit"
+    | first :: rest ->
+      List.fold_left
+        (fun best q -> if score q > score best then q else best)
+        first rest
+  in
+  List.iter
+    (fun l ->
+      let placed_neighbor_locs =
+        List.filter_map
+          (fun nb -> if l2p.(nb) >= 0 then Some l2p.(nb) else None)
+          (Graph.neighbors pg l)
+      in
+      let score q =
+        if placed_neighbor_locs = [] then incident q
+        else
+          -.List.fold_left
+              (fun acc p -> acc +. Float_matrix.get dist q p)
+              0.0 placed_neighbor_locs
+      in
+      let q = argmax score (free ()) in
+      l2p.(l) <- q;
+      Hashtbl.replace taken q ())
+    order;
+  Mapping.of_array ~num_physical:(Device.num_qubits device) l2p

@@ -1,0 +1,31 @@
+(** VQA - Variation-aware Qubit Allocation (Tannu & Qureshi, ASPLOS'19;
+    paper Sec. III "Qubit Allocation").
+
+    Where the connectivity-count heuristics pick the sub-graph with the
+    most links, VQA picks the sub-graph maximizing the {i cumulative
+    reliability} of its links: a well-connected region of weak couplings
+    loses to a slightly sparser region of strong ones.  Procedure:
+
+    1. grow a k-qubit region greedily from the seed qubit with the
+       highest incident success-rate sum, at each step adding the
+       outside qubit contributing the largest summed success rate on
+       links into the region;
+    2. place program qubits into the region heaviest-first, each next
+       to its already-placed logical neighbors (GreedyV-style, but
+       restricted to the selected region).
+
+    Provided as a variation-aware {i allocation} baseline to contrast
+    with QAIM's variation-unaware allocation and VIC's variation-aware
+    {i scheduling}. *)
+
+val select_region :
+  Qaoa_hardware.Device.t -> k:int -> int list
+(** The selected physical qubits (sorted).  @raise Invalid_argument if
+    the device has no calibration or [k] exceeds the qubit count. *)
+
+val initial_mapping :
+  Qaoa_util.Rng.t ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Qaoa_backend.Mapping.t
+(** Allocation + placement as described above. *)

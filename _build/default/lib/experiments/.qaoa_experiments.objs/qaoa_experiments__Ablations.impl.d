@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Figures Hashtbl List Printf Qaoa_backend Qaoa_circuit Qaoa_core Qaoa_hardware Qaoa_util Runner Workload

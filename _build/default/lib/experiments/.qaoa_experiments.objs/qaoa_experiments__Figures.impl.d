@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Float Hashtbl List Option Printf Qaoa_core Qaoa_hardware Qaoa_util Runner String Sys Workload

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Figures Fun List Printf Qaoa_util

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: List Option Qaoa_circuit Qaoa_core Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: List Printf Qaoa_core Qaoa_graph Qaoa_util

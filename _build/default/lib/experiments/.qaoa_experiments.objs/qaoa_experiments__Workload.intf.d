@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Qaoa_core Qaoa_graph Qaoa_util

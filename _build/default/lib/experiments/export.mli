@@ -1,0 +1,20 @@
+(** CSV export of experiment rows, for external plotting.
+
+    RFC-4180-style quoting: fields containing commas, quotes or newlines
+    are double-quoted with embedded quotes doubled. *)
+
+val csv_of_rows : columns:string list -> Figures.row list -> string
+(** Header line ["workload", columns...] then one line per row.  Row
+    value lists shorter than [columns] are padded with empty fields;
+    longer ones raise [Invalid_argument]. *)
+
+val escape_field : string -> string
+(** The quoting rule applied to every field. *)
+
+val write_file : path:string -> columns:string list -> Figures.row list -> unit
+(** [csv_of_rows] to a file. *)
+
+val export_all :
+  dir:string -> (string * string list * Figures.row list) list -> string list
+(** [(name, columns, rows)] triples to [dir/name.csv] (the directory must
+    exist); returns the written paths. *)

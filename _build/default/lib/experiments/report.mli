@@ -1,0 +1,30 @@
+(** Markdown report generation: turns figure/ablation rows into an
+    EXPERIMENTS.md-style document, so a bench run leaves a
+    self-describing artifact next to its CSVs. *)
+
+type section = {
+  id : string;  (** e.g. "fig9" *)
+  title : string;
+  columns : string list;
+  rows : Figures.row list;
+  paper_notes : string list;  (** the paper's reference numbers, verbatim *)
+}
+
+val section_to_markdown : section -> string
+(** "## id - title", a column-aligned table, then a blockquote of paper
+    notes. *)
+
+val to_markdown : scale:Figures.scale -> section list -> string
+(** Full document with a provenance header (scale, library name). *)
+
+val write : path:string -> scale:Figures.scale -> section list -> unit
+
+val known_sections : (string * (string * string list * string list)) list
+(** Per figure id: (title, column names, paper notes) - the metadata the
+    bench harness combines with measured rows.  Covers fig7..fig12,
+    ring8 and every ablation id. *)
+
+val section_of_rows : scale:Figures.scale -> string -> Figures.row list -> section
+(** Look up [known_sections] metadata for the id (unknown ids get
+    generic headers) and attach the measured rows.  [scale] is recorded
+    in the title. *)

@@ -1,0 +1,53 @@
+module Compile = Qaoa_core.Compile
+module Metrics = Qaoa_circuit.Metrics
+module Device = Qaoa_hardware.Device
+module Stats = Qaoa_util.Stats
+
+type aggregate = {
+  strategy : Compile.strategy;
+  mean_depth : float;
+  mean_gates : float;
+  mean_cx : float;
+  mean_swaps : float;
+  mean_time : float;
+  mean_success : float option;
+  instances : int;
+}
+
+let run ?(base_seed = 1000) ?(options = Compile.default_options) ~device
+    ~strategies ~params problems =
+  let calibrated = Option.is_some device.Device.calibration in
+  List.map
+    (fun strategy ->
+      let results =
+        List.mapi
+          (fun i problem ->
+            let options = { options with Compile.seed = base_seed + i } in
+            Compile.compile ~options ~strategy device problem params)
+          problems
+      in
+      let fmean f = Stats.mean (List.map f results) in
+      {
+        strategy;
+        mean_depth =
+          fmean (fun r -> float_of_int r.Compile.metrics.Metrics.depth);
+        mean_gates =
+          fmean (fun r -> float_of_int r.Compile.metrics.Metrics.gate_count);
+        mean_cx =
+          fmean (fun r ->
+              float_of_int r.Compile.metrics.Metrics.two_qubit_count);
+        mean_swaps = fmean (fun r -> float_of_int r.Compile.swap_count);
+        mean_time = fmean (fun r -> r.Compile.compile_time);
+        mean_success =
+          (if calibrated then
+             Some (fmean (Compile.success_probability device))
+           else None);
+        instances = List.length results;
+      })
+    strategies
+
+let find aggregates strategy =
+  List.find (fun a -> a.strategy = strategy) aggregates
+
+let ratio aggregates ~num ~den metric =
+  Stats.ratio (metric (find aggregates num)) (metric (find aggregates den))

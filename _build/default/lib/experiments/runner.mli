@@ -1,0 +1,39 @@
+(** Experiment runner: compile instance sets under several strategies and
+    aggregate the paper's circuit-quality metrics (mean depth, gate count,
+    compilation time, SWAPs, and - when the device is calibrated - success
+    probability). *)
+
+type aggregate = {
+  strategy : Qaoa_core.Compile.strategy;
+  mean_depth : float;
+  mean_gates : float;
+  mean_cx : float;
+  mean_swaps : float;
+  mean_time : float;  (** CPU seconds *)
+  mean_success : float option;  (** None when the device is uncalibrated *)
+  instances : int;
+}
+
+val run :
+  ?base_seed:int ->
+  ?options:Qaoa_core.Compile.options ->
+  device:Qaoa_hardware.Device.t ->
+  strategies:Qaoa_core.Compile.strategy list ->
+  params:Qaoa_core.Ansatz.params ->
+  Qaoa_core.Problem.t list ->
+  aggregate list
+(** Each instance [i] is compiled with seed [base_seed + i] (all
+    strategies see the same seed for a given instance, so comparisons are
+    paired).  Order of the result follows [strategies]. *)
+
+val find : aggregate list -> Qaoa_core.Compile.strategy -> aggregate
+(** @raise Not_found if the strategy was not run. *)
+
+val ratio :
+  aggregate list ->
+  num:Qaoa_core.Compile.strategy ->
+  den:Qaoa_core.Compile.strategy ->
+  (aggregate -> float) ->
+  float
+(** Ratio of a metric between two strategies, e.g.
+    [ratio res ~num:Qaim ~den:Naive (fun a -> a.mean_depth)]. *)

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Float Graph List Qaoa_util Queue

@@ -1,0 +1,172 @@
+module Rng = Qaoa_util.Rng
+
+let erdos_renyi rng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let erdos_renyi_gnm rng ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Generators.erdos_renyi_gnm: too many edges";
+  (* Sample m distinct edge indices out of the full edge enumeration. *)
+  let all = Array.make max_m (0, 0) in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      all.(!k) <- (u, v);
+      incr k
+    done
+  done;
+  Rng.shuffle rng all;
+  Graph.of_edges n (Array.to_list (Array.sub all 0 m))
+
+let random_regular rng ~n ~d =
+  if n * d mod 2 = 1 then
+    invalid_arg "Generators.random_regular: n * d must be even";
+  if d >= n then invalid_arg "Generators.random_regular: d >= n";
+  if d < 0 then invalid_arg "Generators.random_regular: negative degree";
+  (* Pairing (configuration) model: n*d half-edge stubs shuffled and paired;
+     reject and retry on self-loops or multi-edges.  For the small d and n
+     used by the workloads the expected number of retries is tiny. *)
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let rec attempt remaining =
+    if remaining = 0 then
+      (* Fall back to a deterministic circulant d-regular graph; only
+         reachable for adversarial (n, d) combinations. *)
+      let edges = ref [] in
+      for v = 0 to n - 1 do
+        for k = 1 to d / 2 do
+          edges := (v, (v + k) mod n) :: !edges
+        done;
+        if d mod 2 = 1 && v < n / 2 then edges := (v, v + (n / 2)) :: !edges
+      done;
+      Graph.of_edges n
+        (List.filter (fun (u, v) -> u <> v) (List.map (fun (u, v) -> (min u v, max u v)) !edges))
+    else begin
+      Rng.shuffle rng stubs;
+      let ok = ref true in
+      let seen = Hashtbl.create (n * d) in
+      let edges = ref [] in
+      let i = ref 0 in
+      while !ok && !i < Array.length stubs do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        let e = (min u v, max u v) in
+        if u = v || Hashtbl.mem seen e then ok := false
+        else begin
+          Hashtbl.add seen e ();
+          edges := e :: !edges
+        end;
+        i := !i + 2
+      done;
+      if !ok then Graph.of_edges n !edges else attempt (remaining - 1)
+    end
+  in
+  attempt 1000
+
+let barabasi_albert rng ~n ~m =
+  if m < 1 then invalid_arg "Generators.barabasi_albert: m < 1";
+  if n <= m then invalid_arg "Generators.barabasi_albert: n <= m";
+  (* seed clique on m+1 vertices, then preferential attachment via a
+     repeated-endpoints list (each edge contributes both endpoints, so a
+     uniform draw from it is degree-proportional) *)
+  let edges = ref [] in
+  let endpoints = ref [] in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      edges := (u, v) :: !edges;
+      endpoints := u :: v :: !endpoints
+    done
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  for v = m + 1 to n - 1 do
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 1000 do
+      incr attempts;
+      let u = Rng.choice rng !endpoint_array in
+      if u <> v then Hashtbl.replace chosen u ()
+    done;
+    (* degenerate fallback: fill from low ids *)
+    let id = ref 0 in
+    while Hashtbl.length chosen < m do
+      if !id <> v then Hashtbl.replace chosen !id ();
+      incr id
+    done;
+    let new_points = ref [] in
+    Hashtbl.iter
+      (fun u () ->
+        edges := (min u v, max u v) :: !edges;
+        new_points := u :: v :: !new_points)
+      chosen;
+    endpoint_array :=
+      Array.append !endpoint_array (Array.of_list !new_points)
+  done;
+  Graph.of_edges n !edges
+
+let watts_strogatz rng ~n ~k ~beta =
+  if k mod 2 = 1 then invalid_arg "Generators.watts_strogatz: k must be even";
+  if k < 2 || k >= n - 1 then
+    invalid_arg "Generators.watts_strogatz: need 2 <= k < n - 1";
+  (* ring lattice, then rewire the far endpoint of each edge with
+     probability beta *)
+  let g = ref (Graph.create n) in
+  let add u v = if u <> v && not (Graph.has_edge !g u v) then g := Graph.add_edge !g u v in
+  for v = 0 to n - 1 do
+    for offset = 1 to k / 2 do
+      add v ((v + offset) mod n)
+    done
+  done;
+  let rewired =
+    Graph.fold_edges
+      (fun u v acc ->
+        if Rng.bernoulli rng beta then (u, v) :: acc else acc)
+      !g []
+  in
+  List.iter
+    (fun (u, v) ->
+      (* pick a fresh endpoint for u, avoiding self-loops and duplicates *)
+      let candidates =
+        List.filter
+          (fun w -> w <> u && w <> v && not (Graph.has_edge !g u w))
+          (Graph.vertices !g)
+      in
+      match candidates with
+      | [] -> ()
+      | _ ->
+        let w = Rng.choice_list rng candidates in
+        g := Graph.add_edge (Graph.remove_edge !g u v) u w)
+    rewired;
+  !g
+
+let path n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need at least 3 vertices";
+  Graph.of_edges n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid ~rows ~cols =
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges (rows * cols) !edges
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let star n =
+  Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))

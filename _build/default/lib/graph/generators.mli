@@ -1,0 +1,46 @@
+(** Random and structured graph generators.
+
+    The paper's workloads (Sec. V.B) are Erdos-Renyi random graphs with
+    varied edge probabilities and random d-regular graphs with varied
+    edges/node; the hardware substrates additionally need paths, cycles and
+    grids. *)
+
+val erdos_renyi : Qaoa_util.Rng.t -> n:int -> p:float -> Graph.t
+(** G(n, p): each of the n(n-1)/2 possible edges is included independently
+    with probability [p]. *)
+
+val erdos_renyi_gnm : Qaoa_util.Rng.t -> n:int -> m:int -> Graph.t
+(** G(n, m): exactly [m] distinct edges drawn uniformly.
+    @raise Invalid_argument if [m] exceeds n(n-1)/2. *)
+
+val random_regular : Qaoa_util.Rng.t -> n:int -> d:int -> Graph.t
+(** A uniform-ish random d-regular graph via the pairing model with
+    rejection (retry until simple).  @raise Invalid_argument if [n * d] is
+    odd or [d >= n]. *)
+
+val barabasi_albert : Qaoa_util.Rng.t -> n:int -> m:int -> Graph.t
+(** Preferential-attachment scale-free graph: start from a clique on
+    [m + 1] vertices, then attach each new vertex to [m] existing
+    vertices drawn proportionally to degree (without replacement).
+    Produces the hub-dominated degree profiles that stress heaviest-first
+    placement heuristics.  @raise Invalid_argument if [m < 1] or
+    [n <= m]. *)
+
+val watts_strogatz : Qaoa_util.Rng.t -> n:int -> k:int -> beta:float -> Graph.t
+(** Small-world graph: ring lattice with [k] nearest neighbors per vertex
+    ([k] even), each edge rewired with probability [beta] to a uniform
+    non-duplicate endpoint.  @raise Invalid_argument if [k] is odd,
+    [k < 2] or [k >= n - 1]. *)
+
+val path : int -> Graph.t
+(** Linear chain 0-1-...-(n-1). *)
+
+val cycle : int -> Graph.t
+(** Ring on [n >= 3] vertices. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** 2-D mesh; vertex [(r, c)] has index [r * cols + c]. *)
+
+val complete : int -> Graph.t
+val star : int -> Graph.t
+(** [star n]: vertex 0 connected to each of [1..n-1]. *)

@@ -1,0 +1,91 @@
+module Float_matrix = Qaoa_util.Float_matrix
+
+let bfs_distances g src =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let weight_matrix g ~weight =
+  let n = Graph.num_vertices g in
+  let w = Float_matrix.create n Float.infinity in
+  for i = 0 to n - 1 do
+    Float_matrix.set w i i 0.0
+  done;
+  List.iter
+    (fun (u, v) ->
+      let x = weight u v in
+      Float_matrix.set w u v x;
+      Float_matrix.set w v u x)
+    (Graph.edges g);
+  w
+
+let all_pairs_hops g =
+  Float_matrix.floyd_warshall (weight_matrix g ~weight:(fun _ _ -> 1.0))
+
+let all_pairs_weighted g ~weight =
+  Float_matrix.floyd_warshall (weight_matrix g ~weight)
+
+let shortest_path g src dst =
+  let dist = bfs_distances g src in
+  if dist.(dst) = max_int then raise Not_found;
+  (* Walk back from dst along strictly decreasing distances. *)
+  let rec back v acc =
+    if v = src then v :: acc
+    else
+      let prev =
+        List.find (fun u -> dist.(u) = dist.(v) - 1) (Graph.neighbors g v)
+      in
+      back prev (v :: acc)
+  in
+  back dst []
+
+let connected_components g =
+  let n = Graph.num_vertices g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      seen.(v) <- true;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        List.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          (Graph.neighbors g u)
+      done;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.sort compare !comps
+
+let eccentricity g v =
+  let dist = bfs_distances g v in
+  Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 dist
+
+let diameter g =
+  let n = Graph.num_vertices g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best

@@ -1,0 +1,31 @@
+(** Shortest paths and connectivity queries over {!Graph.t}.
+
+    The mapping procedures use hop distances (unit edge weights) for QAIM
+    and IC, and reliability-weighted distances for VIC; both are computed
+    once with Floyd-Warshall per the paper and then read from memory. *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] gives hop distances from [src]; unreachable
+    vertices get [max_int]. *)
+
+val all_pairs_hops : Graph.t -> Qaoa_util.Float_matrix.t
+(** All-pairs hop distances (infinity for disconnected pairs). *)
+
+val all_pairs_weighted :
+  Graph.t -> weight:(int -> int -> float) -> Qaoa_util.Float_matrix.t
+(** All-pairs shortest paths with [weight u v] as each edge's length. *)
+
+val shortest_path : Graph.t -> int -> int -> int list
+(** One shortest (fewest-hops) path from [src] to [dst], inclusive of both
+    endpoints.  @raise Not_found if unreachable. *)
+
+val connected_components : Graph.t -> int list list
+(** Vertex partition into components, each sorted, components sorted by
+    their minimum vertex. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest hop distance from the vertex to any reachable vertex. *)
+
+val diameter : Graph.t -> int
+(** Max eccentricity over vertices; 0 for n <= 1.  Disconnected graphs
+    return the max over reachable pairs. *)

@@ -1,0 +1,30 @@
+let induced g vs =
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let index = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let edges =
+    Graph.fold_edges
+      (fun u v acc ->
+        match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+        | Some iu, Some iv -> (iu, iv) :: acc
+        | _ -> acc)
+      g []
+  in
+  (Graph.of_edges k edges, vs)
+
+let edge_count_within g vs =
+  let set = Hashtbl.create (List.length vs) in
+  List.iter (fun v -> Hashtbl.replace set v ()) vs;
+  Graph.fold_edges
+    (fun u v acc ->
+      if Hashtbl.mem set u && Hashtbl.mem set v then acc + 1 else acc)
+    g 0
+
+let relabel g perm =
+  let n = Graph.num_vertices g in
+  if Array.length perm <> n then invalid_arg "Subgraph.relabel: size mismatch";
+  let edges =
+    Graph.fold_edges (fun u v acc -> (perm.(u), perm.(v)) :: acc) g []
+  in
+  Graph.of_edges n edges

@@ -1,0 +1,17 @@
+(** Induced subgraphs and vertex relabelling.
+
+    Qubit allocation selects a k-vertex subset of the hardware coupling
+    graph; these helpers extract the induced subgraph and keep the mapping
+    between original and compacted vertex ids. *)
+
+val induced : Graph.t -> int list -> Graph.t * int array
+(** [induced g vs] returns the subgraph induced by the distinct vertices
+    [vs], relabelled to [0..k-1] in the order given, together with the
+    array mapping new ids back to original ids. *)
+
+val edge_count_within : Graph.t -> int list -> int
+(** Number of edges of [g] with both endpoints in the vertex list. *)
+
+val relabel : Graph.t -> int array -> Graph.t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0..n-1]. *)

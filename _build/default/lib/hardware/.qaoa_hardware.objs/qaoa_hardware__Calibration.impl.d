@@ -1,0 +1,1 @@
+lib/hardware/calibration.ml: List Map Qaoa_util

@@ -1,0 +1,1 @@
+lib/hardware/coherence.ml: Array Calibration Float List Qaoa_circuit Qaoa_util

@@ -1,0 +1,1 @@
+lib/hardware/coherence.mli: Calibration Qaoa_circuit Qaoa_util

@@ -1,0 +1,1 @@
+lib/hardware/device.ml: Calibration Qaoa_graph

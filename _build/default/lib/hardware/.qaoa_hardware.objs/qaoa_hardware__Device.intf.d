@@ -1,0 +1,1 @@
+lib/hardware/device.mli: Calibration Qaoa_graph Qaoa_util

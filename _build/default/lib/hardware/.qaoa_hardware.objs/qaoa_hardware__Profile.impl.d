@@ -1,0 +1,1 @@
+lib/hardware/profile.ml: Array Calibration Device List Qaoa_graph

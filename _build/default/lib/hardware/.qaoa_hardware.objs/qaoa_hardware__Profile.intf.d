@@ -1,0 +1,1 @@
+lib/hardware/profile.mli: Device Qaoa_util

@@ -1,0 +1,1 @@
+lib/hardware/topologies.ml: Calibration Device List Printf Qaoa_graph String

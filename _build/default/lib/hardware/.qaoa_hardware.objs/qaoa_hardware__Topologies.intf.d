@@ -1,0 +1,1 @@
+lib/hardware/topologies.mli: Device

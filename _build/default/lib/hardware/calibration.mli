@@ -1,0 +1,61 @@
+(** Device calibration data: per-coupling CNOT error rates plus scalar
+    one-qubit-gate and readout error rates.
+
+    VIC (paper Sec. IV.D) and the success-probability metric (Sec. II)
+    consume these.  Edge keys are unordered: looking up [(u, v)] and
+    [(v, u)] returns the same rate. *)
+
+type t
+
+val create :
+  ?single_qubit_error:float ->
+  ?readout_error:float ->
+  (int * int * float) list ->
+  t
+(** [create pairs] with [(u, v, cnot_error)] triples.
+    [single_qubit_error] defaults to 1e-3, [readout_error] to 0. *)
+
+val uniform :
+  ?single_qubit_error:float ->
+  ?readout_error:float ->
+  cnot_error:float ->
+  (int * int) list ->
+  t
+(** Same error on every coupling. *)
+
+val random :
+  Qaoa_util.Rng.t ->
+  ?single_qubit_error:float ->
+  ?readout_error:float ->
+  ?mu:float ->
+  ?sigma:float ->
+  (int * int) list ->
+  t
+(** Per-edge CNOT errors drawn from a clamped normal distribution; the
+    paper's Fig. 11(a) experiment uses mu = 1.0e-2, sigma = 0.5e-2 (the
+    defaults here), clamped to [1e-4, 0.5]. *)
+
+val id : t -> int
+(** Unique identifier of the snapshot (monotone creation counter); lets
+    consumers memoize data derived from a calibration. *)
+
+val cnot_error : t -> int -> int -> float
+(** @raise Not_found if the coupling has no recorded rate. *)
+
+val cnot_error_opt : t -> int -> int -> float option
+val single_qubit_error : t -> float
+val readout_error : t -> float
+
+val cnot_success : t -> int -> int -> float
+(** [1 - cnot_error]. *)
+
+val cphase_success : t -> int -> int -> float
+(** CNOT success squared: the RZ in the CPHASE decomposition is virtual
+    (Sec. IV.D). *)
+
+val edges : t -> (int * int) list
+(** Couplings with recorded rates, [(u, v)] with [u < v], sorted. *)
+
+val worst_edge : t -> (int * int) * float
+(** Coupling with the highest CNOT error.  @raise Invalid_argument if no
+    edges are recorded. *)

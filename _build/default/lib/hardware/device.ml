@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  coupling : Qaoa_graph.Graph.t;
+  calibration : Calibration.t option;
+}
+
+let create ?calibration ~name coupling = { name; coupling; calibration }
+let num_qubits t = Qaoa_graph.Graph.num_vertices t.coupling
+let coupled t u v = Qaoa_graph.Graph.has_edge t.coupling u v
+let coupling_edges t = Qaoa_graph.Graph.edges t.coupling
+let with_calibration t calibration = { t with calibration = Some calibration }
+
+let with_random_calibration ?mu ?sigma rng t =
+  let cal = Calibration.random rng ?mu ?sigma (coupling_edges t) in
+  { t with calibration = Some cal }
+
+let calibration_exn t =
+  match t.calibration with
+  | Some c -> c
+  | None -> invalid_arg (t.name ^ ": device has no calibration data")

@@ -1,0 +1,28 @@
+(** A target quantum device: name, coupling graph and optional calibration
+    snapshot.
+
+    The coupling graph is undirected - on IBM devices CNOT direction can be
+    reversed with H conjugation at negligible cost, and the paper treats
+    couplings as undirected throughout. *)
+
+type t = {
+  name : string;
+  coupling : Qaoa_graph.Graph.t;
+  calibration : Calibration.t option;
+}
+
+val create : ?calibration:Calibration.t -> name:string -> Qaoa_graph.Graph.t -> t
+val num_qubits : t -> int
+val coupled : t -> int -> int -> bool
+val coupling_edges : t -> (int * int) list
+
+val with_calibration : t -> Calibration.t -> t
+(** Replace the calibration snapshot. *)
+
+val with_random_calibration :
+  ?mu:float -> ?sigma:float -> Qaoa_util.Rng.t -> t -> t
+(** Attach a synthetic calibration drawn per-edge from a clamped normal
+    distribution (defaults mu = 1e-2, sigma = 0.5e-2, as in Fig. 11(a)). *)
+
+val calibration_exn : t -> Calibration.t
+(** @raise Invalid_argument when the device has no calibration. *)

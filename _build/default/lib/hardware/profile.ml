@@ -1,0 +1,43 @@
+module Graph = Qaoa_graph.Graph
+module Paths = Qaoa_graph.Paths
+
+let connectivity_strength ?(order = 2) device q =
+  let dist = Paths.bfs_distances device.Device.coupling q in
+  Array.fold_left
+    (fun acc d -> if d >= 1 && d <= order then acc + 1 else acc)
+    0 dist
+
+let connectivity_profile ?order device =
+  Array.init (Device.num_qubits device) (connectivity_strength ?order device)
+
+(* The mapping procedures look distances up on every decision; the paper
+   prescribes computing the matrix once per device (Floyd-Warshall) and
+   reading it from memory.  Memoize on the physical identity of the
+   coupling graph (devices share it across copies), keeping a small LRU. *)
+let memoize () =
+  let cache = ref [] in
+  fun key compute ->
+    match List.assq_opt key !cache with
+    | Some m -> m
+    | None ->
+      let m = compute () in
+      let keep = List.filteri (fun i _ -> i < 15) !cache in
+      cache := (key, m) :: keep;
+      m
+
+let hop_cache = memoize ()
+
+let hop_distances device =
+  hop_cache device.Device.coupling (fun () ->
+      Paths.all_pairs_hops device.Device.coupling)
+
+let weighted_cache = memoize ()
+
+let weighted_distances device =
+  let cal = Device.calibration_exn device in
+  weighted_cache (Calibration.id cal) (fun () ->
+      Paths.all_pairs_weighted device.Device.coupling ~weight:(fun u v ->
+          1.0 /. Calibration.cphase_success cal u v))
+
+let distance_matrix ~variation_aware device =
+  if variation_aware then weighted_distances device else hop_distances device

@@ -1,0 +1,1 @@
+lib/sim/density_matrix.ml: Array List Qaoa_circuit Qaoa_hardware Statevector

@@ -1,0 +1,1 @@
+lib/sim/density_matrix.mli: Qaoa_circuit Qaoa_hardware Statevector

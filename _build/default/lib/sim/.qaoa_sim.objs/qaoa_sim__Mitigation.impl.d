@@ -1,0 +1,1 @@
+lib/sim/mitigation.ml: Array Float List

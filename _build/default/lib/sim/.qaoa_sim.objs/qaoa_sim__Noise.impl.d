@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Array List Qaoa_circuit Qaoa_hardware Qaoa_util Sampler Statevector

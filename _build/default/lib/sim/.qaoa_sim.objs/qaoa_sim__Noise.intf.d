@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Qaoa_circuit Qaoa_hardware Qaoa_util Statevector

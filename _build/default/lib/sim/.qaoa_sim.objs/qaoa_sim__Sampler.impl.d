@@ -1,0 +1,1 @@
+lib/sim/sampler.ml: Array Hashtbl List Option Qaoa_util Statevector

@@ -1,0 +1,55 @@
+let apply_inverse_confusion ~p ~num_qubits dist =
+  if p < 0.0 || p >= 0.5 then
+    invalid_arg "Mitigation: flip probability must be in [0, 0.5)";
+  let size = 1 lsl num_qubits in
+  if Array.length dist <> size then
+    invalid_arg "Mitigation: distribution length mismatch";
+  (* inverse of [[1-p, p]; [p, 1-p]] = 1/(1-2p) [[1-p, -p]; [-p, 1-p]];
+     apply it qubit by qubit (tensor-product structure) *)
+  let out = Array.copy dist in
+  let a = (1.0 -. p) /. (1.0 -. (2.0 *. p)) in
+  let b = -.p /. (1.0 -. (2.0 *. p)) in
+  for q = 0 to num_qubits - 1 do
+    let bit = 1 lsl q in
+    for i = 0 to size - 1 do
+      if i land bit = 0 then begin
+        let j = i lor bit in
+        let x = out.(i) and y = out.(j) in
+        out.(i) <- (a *. x) +. (b *. y);
+        out.(j) <- (b *. x) +. (a *. y)
+      end
+    done
+  done;
+  out
+
+let clip_and_renormalize dist =
+  let clipped = Array.map (fun x -> Float.max 0.0 x) dist in
+  let total = Array.fold_left ( +. ) 0.0 clipped in
+  if total <= 0.0 then clipped
+  else Array.map (fun x -> x /. total) clipped
+
+let counts_to_distribution ~num_qubits counts =
+  let size = 1 lsl num_qubits in
+  let dist = Array.make size 0.0 in
+  let total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 counts
+  in
+  if total > 0 then
+    List.iter
+      (fun (outcome, c) ->
+        if outcome < 0 || outcome >= size then
+          invalid_arg "Mitigation: outcome out of range";
+        dist.(outcome) <- dist.(outcome) +. (float_of_int c /. float_of_int total))
+      counts;
+  dist
+
+let mitigate_counts ~p ~num_qubits counts =
+  clip_and_renormalize
+    (apply_inverse_confusion ~p ~num_qubits
+       (counts_to_distribution ~num_qubits counts))
+
+let expectation ~p ~num_qubits f counts =
+  let dist = mitigate_counts ~p ~num_qubits counts in
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> if w > 0.0 then acc := !acc +. (w *. f i)) dist;
+  !acc

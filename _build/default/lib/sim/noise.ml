@@ -1,0 +1,82 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Decompose = Qaoa_circuit.Decompose
+module Calibration = Qaoa_hardware.Calibration
+module Rng = Qaoa_util.Rng
+
+type t = { calibration : Calibration.t; apply_readout : bool }
+
+let create ?(apply_readout = true) calibration = { calibration; apply_readout }
+
+let random_pauli rng = match Rng.int rng 3 with
+  | 0 -> `X
+  | 1 -> `Y
+  | _ -> `Z
+
+(* Uniform non-identity two-qubit Pauli: one of the 15 pairs (P, Q) with
+   (P, Q) <> (I, I). *)
+let inject_2q rng sv a b =
+  let k = 1 + Rng.int rng 15 in
+  let pa = k / 4 and pb = k mod 4 in
+  let apply q = function
+    | 1 -> Statevector.apply_pauli sv `X q
+    | 2 -> Statevector.apply_pauli sv `Y q
+    | 3 -> Statevector.apply_pauli sv `Z q
+    | _ -> ()
+  in
+  apply a pa;
+  apply b pb
+
+let run_trajectory rng t circuit =
+  let c = Decompose.circuit circuit in
+  let sv = Statevector.create (Circuit.num_qubits c) in
+  let e1 = Calibration.single_qubit_error t.calibration in
+  List.iter
+    (fun g ->
+      Statevector.apply_gate sv g;
+      match g with
+      | Gate.Cnot (a, b) ->
+        let e = Calibration.cnot_error t.calibration a b in
+        if Rng.bernoulli rng e then inject_2q rng sv a b
+      | Gate.Barrier | Gate.Measure _ -> ()
+      | Gate.H q | Gate.X q | Gate.Y q | Gate.Z q | Gate.Rx (q, _)
+      | Gate.Ry (q, _) | Gate.Rz (q, _) | Gate.Phase (q, _) ->
+        if e1 > 0.0 && Rng.bernoulli rng e1 then
+          Statevector.apply_pauli sv (random_pauli rng) q
+      | Gate.Cphase _ | Gate.Swap _ -> assert false (* decomposed above *))
+    (Circuit.gates c);
+  sv
+
+let sample_noisy rng t circuit ~shots ~trajectories =
+  if shots <= 0 || trajectories <= 0 then
+    invalid_arg "Noise.sample_noisy: shots and trajectories must be positive";
+  let n = Circuit.num_qubits circuit in
+  let ro =
+    if t.apply_readout then Calibration.readout_error t.calibration else 0.0
+  in
+  let out = Array.make shots 0 in
+  let per = max 1 (shots / trajectories) in
+  let produced = ref 0 in
+  while !produced < shots do
+    let sv = run_trajectory rng t circuit in
+    let want = min per (shots - !produced) in
+    let raw = Sampler.sample_many rng sv ~shots:want in
+    Array.iter
+      (fun idx ->
+        out.(!produced) <- Sampler.flip_bits rng ~p:ro ~num_qubits:n idx;
+        incr produced)
+      raw
+  done;
+  out
+
+let expected_success_probability t circuit =
+  let c = Decompose.circuit circuit in
+  let e1 = Calibration.single_qubit_error t.calibration in
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Cnot (a, b) -> acc *. (1.0 -. Calibration.cnot_error t.calibration a b)
+      | Gate.Barrier | Gate.Measure _ -> acc
+      | Gate.Cphase _ | Gate.Swap _ -> assert false
+      | _ -> acc *. (1.0 -. e1))
+    1.0 (Circuit.gates c)

@@ -1,0 +1,50 @@
+module Rng = Qaoa_util.Rng
+
+let cumulative sv =
+  let p = Statevector.probabilities sv in
+  let acc = ref 0.0 in
+  let cum =
+    Array.map
+      (fun x ->
+        acc := !acc +. x;
+        !acc)
+      p
+  in
+  (* Guard against float drift so the last bucket always catches. *)
+  if Array.length cum > 0 then cum.(Array.length cum - 1) <- 1.0;
+  cum
+
+let search cum x =
+  (* smallest i with cum.(i) >= x *)
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let sample rng sv =
+  let cum = cumulative sv in
+  search cum (Rng.float rng 1.0)
+
+let sample_many rng sv ~shots =
+  let cum = cumulative sv in
+  Array.init shots (fun _ -> search cum (Rng.float rng 1.0))
+
+let counts rng sv ~shots =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun i ->
+      Hashtbl.replace tbl i (1 + Option.value ~default:0 (Hashtbl.find_opt tbl i)))
+    (sample_many rng sv ~shots);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let flip_bits rng ~p ~num_qubits idx =
+  if p <= 0.0 then idx
+  else begin
+    let out = ref idx in
+    for q = 0 to num_qubits - 1 do
+      if Rng.bernoulli rng p then out := !out lxor (1 lsl q)
+    done;
+    !out
+  end

@@ -1,0 +1,19 @@
+(** Measurement sampling from a statevector.
+
+    QAOA evaluates its cost expectation over a finite number of output
+    samples (paper Sec. II, "QAOA Optimization Flow"); these helpers draw
+    basis-state indices from the final state's distribution. *)
+
+val sample : Qaoa_util.Rng.t -> Statevector.t -> int
+(** One basis-state index drawn from |amplitude|^2. *)
+
+val sample_many : Qaoa_util.Rng.t -> Statevector.t -> shots:int -> int array
+(** [shots] independent draws (cumulative-distribution inversion with
+    binary search, O(shots log N) after an O(N) prefix pass). *)
+
+val counts : Qaoa_util.Rng.t -> Statevector.t -> shots:int -> (int * int) list
+(** Histogram of [sample_many], sorted by basis index. *)
+
+val flip_bits : Qaoa_util.Rng.t -> p:float -> num_qubits:int -> int -> int
+(** Independently flip each of the low [num_qubits] bits with probability
+    [p] - the readout-error channel applied to sampled outcomes. *)

@@ -1,0 +1,148 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+
+type t = { n : int; re : float array; im : float array }
+
+let create n =
+  if n < 0 || n > 26 then invalid_arg "Statevector.create: 0 <= n <= 26";
+  let size = 1 lsl n in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let num_qubits t = t.n
+let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+let amplitude t i = (t.re.(i), t.im.(i))
+let probability t i = (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+let probabilities t = Array.init (Array.length t.re) (probability t)
+
+(* Apply a general 1-qubit unitary [[a, b], [c, d]] (complex entries as
+   (re, im) pairs) on qubit q. *)
+let apply_1q t q (ar, ai) (br, bi) (cr, ci) (dr, di) =
+  let size = Array.length t.re in
+  let bit = 1 lsl q in
+  let re = t.re and im = t.im in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let xr = re.(!i) and xi = im.(!i) in
+      let yr = re.(j) and yi = im.(j) in
+      re.(!i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
+      im.(!i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
+      re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
+      im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
+    end;
+    incr i
+  done
+
+let apply_cnot t c tq =
+  let size = Array.length t.re in
+  let cbit = 1 lsl c and tbit = 1 lsl tq in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let xr = re.(i) and xi = im.(i) in
+      re.(i) <- re.(j);
+      im.(i) <- im.(j);
+      re.(j) <- xr;
+      im.(j) <- xi
+    end
+  done
+
+let apply_swap t a b =
+  let size = Array.length t.re in
+  let abit = 1 lsl a and bbit = 1 lsl b in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    if i land abit <> 0 && i land bbit = 0 then begin
+      let j = (i lxor abit) lor bbit in
+      let xr = re.(i) and xi = im.(i) in
+      re.(i) <- re.(j);
+      im.(i) <- im.(j);
+      re.(j) <- xr;
+      im.(j) <- xi
+    end
+  done
+
+(* ZZ interaction exp(-i theta/2 Z(x)Z): phase e^{-i th/2} when the two
+   bits agree, e^{+i th/2} when they differ. *)
+let apply_cphase t a b theta =
+  let size = Array.length t.re in
+  let abit = 1 lsl a and bbit = 1 lsl b in
+  let cs = cos (theta /. 2.0) and sn = sin (theta /. 2.0) in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    let agree = (i land abit <> 0) = (i land bbit <> 0) in
+    (* agree: multiply by (cs, -sn); differ: (cs, +sn) *)
+    let s = if agree then -.sn else sn in
+    let xr = re.(i) and xi = im.(i) in
+    re.(i) <- (cs *. xr) -. (s *. xi);
+    im.(i) <- (cs *. xi) +. (s *. xr)
+  done
+
+let apply_pauli t p q =
+  match p with
+  | `X -> apply_1q t q (0., 0.) (1., 0.) (1., 0.) (0., 0.)
+  | `Y -> apply_1q t q (0., 0.) (0., -1.) (0., 1.) (0., 0.)
+  | `Z -> apply_1q t q (1., 0.) (0., 0.) (0., 0.) (-1., 0.)
+
+let apply_gate t g =
+  match g with
+  | Gate.H q ->
+    let s = 1.0 /. sqrt 2.0 in
+    apply_1q t q (s, 0.) (s, 0.) (s, 0.) (-.s, 0.)
+  | Gate.X q -> apply_pauli t `X q
+  | Gate.Y q -> apply_pauli t `Y q
+  | Gate.Z q -> apply_pauli t `Z q
+  | Gate.Rx (q, th) ->
+    let c = cos (th /. 2.0) and s = sin (th /. 2.0) in
+    apply_1q t q (c, 0.) (0., -.s) (0., -.s) (c, 0.)
+  | Gate.Ry (q, th) ->
+    let c = cos (th /. 2.0) and s = sin (th /. 2.0) in
+    apply_1q t q (c, 0.) (-.s, 0.) (s, 0.) (c, 0.)
+  | Gate.Rz (q, th) ->
+    let c = cos (th /. 2.0) and s = sin (th /. 2.0) in
+    apply_1q t q (c, -.s) (0., 0.) (0., 0.) (c, s)
+  | Gate.Phase (q, th) ->
+    apply_1q t q (1., 0.) (0., 0.) (0., 0.) (cos th, sin th)
+  | Gate.Cnot (c, tq) -> apply_cnot t c tq
+  | Gate.Cphase (a, b, th) -> apply_cphase t a b th
+  | Gate.Swap (a, b) -> apply_swap t a b
+  | Gate.Barrier | Gate.Measure _ -> ()
+
+let apply_circuit t c = List.iter (apply_gate t) (Circuit.gates c)
+
+let of_circuit c =
+  let t = create (Circuit.num_qubits c) in
+  apply_circuit t c;
+  t
+
+let norm t =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t.re - 1 do
+    acc := !acc +. probability t i
+  done;
+  sqrt !acc
+
+let overlap_probability a b =
+  if a.n <> b.n then invalid_arg "Statevector.overlap: size mismatch";
+  let rr = ref 0.0 and ii = ref 0.0 in
+  for i = 0 to Array.length a.re - 1 do
+    (* conj(a) * b *)
+    rr := !rr +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    ii := !ii +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  (!rr *. !rr) +. (!ii *. !ii)
+
+let equal_up_to_global_phase ?(eps = 1e-9) a b =
+  a.n = b.n && Float.abs (overlap_probability a b -. 1.0) < eps
+
+let expectation_diag t f =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t.re - 1 do
+    let p = probability t i in
+    if p > 0.0 then acc := !acc +. (p *. f i)
+  done;
+  !acc

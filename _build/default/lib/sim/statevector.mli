@@ -1,0 +1,49 @@
+(** Dense statevector simulator.
+
+    Amplitudes are stored as separate real/imaginary float arrays of
+    length [2^n].  Basis-state indexing is little-endian: qubit [q]
+    corresponds to bit [q] of the index, so the all-zeros state is index
+    0 and flipping qubit 0 of it gives index 1.
+
+    Gate conventions are documented on {!Qaoa_circuit.Gate} and verified
+    by the test suite (e.g. RZ = exp(-i theta Z / 2), CPHASE = ZZ
+    interaction). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the [n]-qubit state |0...0>.
+    @raise Invalid_argument if [n < 0] or [n > 26] (memory guard). *)
+
+val num_qubits : t -> int
+val copy : t -> t
+
+val amplitude : t -> int -> float * float
+(** Real and imaginary part of the amplitude of a basis index. *)
+
+val probability : t -> int -> float
+val probabilities : t -> float array
+
+val apply_gate : t -> Qaoa_circuit.Gate.t -> unit
+(** In-place application.  [Barrier] is a no-op; [Measure] is ignored
+    (sampling happens on the final state). *)
+
+val apply_pauli : t -> [ `X | `Y | `Z ] -> int -> unit
+(** Fast Pauli application, used by the stochastic noise model. *)
+
+val apply_circuit : t -> Qaoa_circuit.Circuit.t -> unit
+
+val of_circuit : Qaoa_circuit.Circuit.t -> t
+(** Run the circuit from |0...0>. *)
+
+val norm : t -> float
+(** Should be 1 up to float error; exposed for invariant tests. *)
+
+val overlap_probability : t -> t -> float
+(** |<a|b>|^2. *)
+
+val equal_up_to_global_phase : ?eps:float -> t -> t -> bool
+
+val expectation_diag : t -> (int -> float) -> float
+(** Expectation of a diagonal observable given by its value on each basis
+    index - the exact QAOA cost expectation. *)

@@ -1,0 +1,1 @@
+lib/util/bootstrap.ml: Array Float Format Rng

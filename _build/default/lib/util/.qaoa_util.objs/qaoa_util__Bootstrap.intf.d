@@ -1,0 +1,1 @@
+lib/util/bootstrap.mli: Format Rng

@@ -1,0 +1,62 @@
+type interval = { estimate : float; lower : float; upper : float }
+
+let check_args ~resamples ~confidence n =
+  if n = 0 then invalid_arg "Bootstrap: empty sample";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap: confidence must lie in (0, 1)";
+  if resamples < 10 then invalid_arg "Bootstrap: too few resamples"
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  let idx = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor idx) in
+  let hi = int_of_float (Float.ceil idx) in
+  let frac = idx -. Float.floor idx in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let interval_of_resamples estimate resampled confidence =
+  Array.sort compare resampled;
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  {
+    estimate;
+    lower = percentile resampled alpha;
+    upper = percentile resampled (1.0 -. alpha);
+  }
+
+let mean_interval ?(resamples = 1000) ?(confidence = 0.95) rng samples =
+  let a = Array.of_list samples in
+  let n = Array.length a in
+  check_args ~resamples ~confidence n;
+  let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+  let resampled =
+    Array.init resamples (fun _ ->
+        let draw = Array.init n (fun _ -> a.(Rng.int rng n)) in
+        mean draw)
+  in
+  interval_of_resamples (mean a) resampled confidence
+
+let ratio_of_means_interval ?(resamples = 1000) ?(confidence = 0.95) rng ~num
+    ~den =
+  let a = Array.of_list num and b = Array.of_list den in
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Bootstrap: paired samples must have equal length";
+  check_args ~resamples ~confidence n;
+  let ratio idxs =
+    let sa = ref 0.0 and sb = ref 0.0 in
+    Array.iter
+      (fun i ->
+        sa := !sa +. a.(i);
+        sb := !sb +. b.(i))
+      idxs;
+    if !sb = 0.0 then Float.nan else !sa /. !sb
+  in
+  let identity = Array.init n (fun i -> i) in
+  let resampled =
+    Array.init resamples (fun _ ->
+        ratio (Array.init n (fun _ -> Rng.int rng n)))
+  in
+  interval_of_resamples (ratio identity) resampled confidence
+
+let pp ppf t =
+  Format.fprintf ppf "%.3f [%.3f, %.3f]" t.estimate t.lower t.upper

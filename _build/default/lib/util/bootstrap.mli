@@ -1,0 +1,33 @@
+(** Bootstrap confidence intervals for experiment aggregates.
+
+    The paper reports bare means over 20-50 instances; resampling makes
+    the spread visible without distributional assumptions.  Percentile
+    bootstrap: resample with replacement, recompute the statistic,
+    report the [(1 - confidence) / 2] and [1 - (1 - confidence) / 2]
+    quantiles. *)
+
+type interval = { estimate : float; lower : float; upper : float }
+
+val mean_interval :
+  ?resamples:int ->
+  ?confidence:float ->
+  Rng.t ->
+  float list ->
+  interval
+(** [resamples] defaults to 1000, [confidence] to 0.95.
+    @raise Invalid_argument on the empty list or a confidence outside
+    (0, 1). *)
+
+val ratio_of_means_interval :
+  ?resamples:int ->
+  ?confidence:float ->
+  Rng.t ->
+  num:float list ->
+  den:float list ->
+  interval
+(** CI for mean(num)/mean(den) with paired-index resampling (the two
+    lists must have equal length: sample i of both comes from the same
+    instance, as the runner produces them). *)
+
+val pp : Format.formatter -> interval -> unit
+(** "x [lo, hi]" with three decimals. *)

@@ -1,0 +1,31 @@
+(** Dense square matrices of floats with the Floyd-Warshall all-pairs
+    shortest-path algorithm.
+
+    The compilation heuristics (QAIM, IC, VIC) repeatedly query
+    qubit-to-qubit distances; the paper prescribes computing them once with
+    Floyd-Warshall (Sec. IV.A) and reading them from memory afterwards. *)
+
+type t
+(** A square [n x n] float matrix. *)
+
+val create : int -> float -> t
+(** [create n v] is an [n x n] matrix filled with [v]. *)
+
+val size : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val init : int -> (int -> int -> float) -> t
+(** [init n f] builds the matrix with entries [f i j]. *)
+
+val copy : t -> t
+
+val floyd_warshall : t -> t
+(** [floyd_warshall w] treats [w] as an edge-weight matrix (infinity for
+    absent edges, 0 on the diagonal) and returns the all-pairs
+    shortest-path distance matrix.  The input is not modified. *)
+
+val is_symmetric : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (rows of fixed-width floats). *)

@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x51ab; seed lxor 0x9e3779b9 |]
+
+let split t =
+  let seed = Random.State.bits t in
+  Random.State.make [| seed; Random.State.bits t |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let normal t ~mu ~sigma =
+  (* Box-Muller: u1 in (0,1] to keep log finite. *)
+  let u1 = 1.0 -. Random.State.float t 1.0 in
+  let u2 = Random.State.float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let normal_clamped t ~mu ~sigma ~lo ~hi =
+  let rec loop attempts =
+    let x = normal t ~mu ~sigma in
+    if x >= lo && x <= hi then x
+    else if attempts >= 100 then Float.min hi (Float.max lo x)
+    else loop (attempts + 1)
+  in
+  loop 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let choice_list t = function
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | l -> List.nth l (Random.State.int t (List.length l))
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let a = permutation t n in
+  Array.to_list (Array.sub a 0 k)

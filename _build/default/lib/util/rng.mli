@@ -1,0 +1,57 @@
+(** Seeded pseudo-random number generation.
+
+    Every randomized component in the library takes an explicit [Rng.t] so
+    that experiments are reproducible run-to-run.  The implementation wraps
+    [Random.State] and adds the sampling primitives the compilation
+    heuristics and workload generators need. *)
+
+type t
+(** A mutable PRNG state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Useful to hand sub-tasks their own stream without coupling their
+    consumption. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian sample via the Box-Muller transform. *)
+
+val normal_clamped : t -> mu:float -> sigma:float -> lo:float -> hi:float -> float
+(** Gaussian sample re-drawn until it falls within [[lo, hi]] (at most 100
+    attempts, after which the value is clamped).  Used for error-rate
+    synthesis where negative rates are meaningless. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Functional shuffle of a list. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array.  @raise Invalid_argument on [||]. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list.  @raise Invalid_argument on []. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [0..n-1], in random order.  @raise Invalid_argument if [k > n]. *)

@@ -1,0 +1,64 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let n = List.length row in
+  if n > ncols then invalid_arg "Table.add_row: too many cells";
+  let row = row @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- row :: t.rows
+
+let float_cell ?(decimals = 3) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let add_float_row t ?(fmt = float_cell ~decimals:3) label values =
+  add_row t (label :: List.map fmt values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad align w s =
+    let n = w - String.length s in
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          let a = try List.nth t.aligns i with _ -> Right in
+          pad a w cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|"
+    ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n" (render_row t.headers :: rule :: List.map render_row rows)
+
+let print t = print_endline (render t)

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Float List QCheck QCheck_alcotest Qaoa_backend Qaoa_circuit Qaoa_hardware Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Float List QCheck QCheck_alcotest Qaoa_circuit Qaoa_sim Qaoa_util String

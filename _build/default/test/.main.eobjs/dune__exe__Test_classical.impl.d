@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Filename Float List Printf Qaoa_core Qaoa_experiments Qaoa_graph Qaoa_util String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qaoa_circuit Qaoa_hardware Qaoa_sim Qaoa_util

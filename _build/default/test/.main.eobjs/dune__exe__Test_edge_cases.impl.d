@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array List Qaoa_backend Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_sim Qaoa_util

@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Float List Printf QCheck QCheck_alcotest Qaoa_backend Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Float List QCheck QCheck_alcotest Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_sim Qaoa_util

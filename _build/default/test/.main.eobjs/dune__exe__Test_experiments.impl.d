@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Option Qaoa_core Qaoa_experiments Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Float List Printf Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_util

@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Array List Printf Qaoa_graph Qaoa_hardware Qaoa_util

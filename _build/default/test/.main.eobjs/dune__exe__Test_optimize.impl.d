@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Float Hashtbl List QCheck QCheck_alcotest Qaoa_circuit Qaoa_sim Qaoa_util

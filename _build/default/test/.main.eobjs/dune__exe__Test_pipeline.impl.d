@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Lazy List QCheck QCheck_alcotest Qaoa_backend Qaoa_circuit Qaoa_core Qaoa_experiments Qaoa_hardware Qaoa_util String

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array List Printf Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_sim Qaoa_util String

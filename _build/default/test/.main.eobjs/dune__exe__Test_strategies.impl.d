@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Qaoa_backend Qaoa_circuit Qaoa_core Qaoa_graph Qaoa_hardware Qaoa_sim Qaoa_util

@@ -1,0 +1,168 @@
+(* Tests for the density-matrix simulator: pure-state agreement with the
+   statevector backend, channel properties, and cross-validation of the
+   Monte-Carlo trajectory sampler against the exact channel. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Calibration = Qaoa_hardware.Calibration
+module Statevector = Qaoa_sim.Statevector
+module Density_matrix = Qaoa_sim.Density_matrix
+module Noise = Qaoa_sim.Noise
+module Rng = Qaoa_util.Rng
+
+let random_circuit rng n len =
+  Circuit.of_gates n
+    (List.init len (fun _ ->
+         match Rng.int rng 7 with
+         | 0 -> Gate.H (Rng.int rng n)
+         | 1 -> Gate.Rx (Rng.int rng n, Rng.float rng 6.0)
+         | 2 -> Gate.Ry (Rng.int rng n, Rng.float rng 6.0)
+         | 3 -> Gate.Rz (Rng.int rng n, Rng.float rng 6.0)
+         | 4 when n > 1 ->
+           let a = Rng.int rng n in
+           Gate.Cnot (a, (a + 1) mod n)
+         | 5 when n > 1 ->
+           let a = Rng.int rng n in
+           Gate.Cphase (a, (a + 1) mod n, Rng.float rng 6.0)
+         | 6 when n > 1 ->
+           let a = Rng.int rng n in
+           Gate.Swap (a, (a + 1) mod n)
+         | _ -> Gate.X (Rng.int rng n)))
+
+let test_initial_state () =
+  let t = Density_matrix.create 2 in
+  Alcotest.(check (float 1e-12)) "p(00)" 1.0 (Density_matrix.probability t 0);
+  Alcotest.(check (float 1e-12)) "trace" 1.0 (Density_matrix.trace t);
+  Alcotest.(check (float 1e-12)) "pure" 1.0 (Density_matrix.purity t)
+
+let test_of_statevector () =
+  let sv = Statevector.of_circuit (Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ]) in
+  let t = Density_matrix.of_statevector sv in
+  Alcotest.(check (float 1e-12)) "p(00)" 0.5 (Density_matrix.probability t 0);
+  Alcotest.(check (float 1e-12)) "p(11)" 0.5 (Density_matrix.probability t 3);
+  Alcotest.(check (float 1e-12)) "pure" 1.0 (Density_matrix.purity t)
+
+(* Pure-state evolution must match the statevector simulator exactly. *)
+let prop_matches_statevector =
+  QCheck.Test.make
+    ~name:"density matrix matches statevector on pure circuits" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 1 4))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng n 20 in
+      let sv = Statevector.of_circuit c in
+      let dm = Density_matrix.create n in
+      Density_matrix.apply_circuit dm c;
+      let ok = ref true in
+      for i = 0 to (1 lsl n) - 1 do
+        if
+          Float.abs (Statevector.probability sv i -. Density_matrix.probability dm i)
+          > 1e-9
+        then ok := false
+      done;
+      !ok && Float.abs (Density_matrix.trace dm -. 1.0) < 1e-9)
+
+let test_depolarize_1q_mixes () =
+  let t = Density_matrix.create 1 in
+  (* full depolarization of |0>: 1/3 (X + Y + Z) conjugations *)
+  Density_matrix.depolarize_1q t 1.0 0;
+  (* X|0> and Y|0> give |1>, Z|0> gives |0>: p(0) = 1/3, p(1) = 2/3 *)
+  Alcotest.(check (float 1e-12)) "p(0)" (1.0 /. 3.0) (Density_matrix.probability t 0);
+  Alcotest.(check (float 1e-12)) "p(1)" (2.0 /. 3.0) (Density_matrix.probability t 1);
+  Alcotest.(check (float 1e-12)) "trace preserved" 1.0 (Density_matrix.trace t);
+  Alcotest.(check bool) "purity dropped" true (Density_matrix.purity t < 1.0)
+
+let test_depolarize_2q_uniformizes () =
+  (* Heavy 2q depolarization drives the state towards maximal mixing. *)
+  let t = Density_matrix.create 2 in
+  Density_matrix.apply_gate t (Gate.H 0);
+  Density_matrix.apply_gate t (Gate.Cnot (0, 1));
+  for _ = 1 to 10 do
+    Density_matrix.depolarize_2q t 0.9 0 1
+  done;
+  Alcotest.(check (float 1e-9)) "trace" 1.0 (Density_matrix.trace t);
+  Alcotest.(check (float 0.02)) "near maximally mixed purity" 0.25
+    (Density_matrix.purity t);
+  for i = 0 to 3 do
+    Alcotest.(check (float 0.02))
+      (Printf.sprintf "p(%d) uniform" i)
+      0.25 (Density_matrix.probability t i)
+  done
+
+let test_noisy_circuit_trace_preserved () =
+  let cal = Calibration.create ~single_qubit_error:0.02 [ (0, 1, 0.05); (1, 2, 0.08) ] in
+  let c =
+    Circuit.of_gates 3
+      [ Gate.H 0; Gate.Cphase (0, 1, 0.7); Gate.Cnot (1, 2); Gate.Rx (2, 0.3) ]
+  in
+  let t = Density_matrix.apply_noisy_circuit cal c in
+  Alcotest.(check (float 1e-9)) "trace" 1.0 (Density_matrix.trace t);
+  Alcotest.(check bool) "mixed" true (Density_matrix.purity t < 1.0)
+
+(* The central cross-validation: trajectory-averaged probabilities must
+   converge to the exact channel's density matrix. *)
+let test_trajectories_converge_to_channel () =
+  let rng = Rng.create 123 in
+  let cal =
+    Calibration.create ~single_qubit_error:0.01 ~readout_error:0.0
+      [ (0, 1, 0.08); (1, 2, 0.12) ]
+  in
+  let c =
+    Circuit.of_gates 3
+      [
+        Gate.H 0; Gate.H 1; Gate.H 2; Gate.Cphase (0, 1, 0.9);
+        Gate.Cphase (1, 2, 0.9); Gate.Rx (0, 0.8); Gate.Rx (1, 0.8);
+        Gate.Rx (2, 0.8);
+      ]
+  in
+  let exact = Density_matrix.apply_noisy_circuit cal c in
+  let noise = Noise.create ~apply_readout:false cal in
+  let trials = 3000 in
+  let acc = Array.make 8 0.0 in
+  for _ = 1 to trials do
+    let sv = Noise.run_trajectory rng noise c in
+    for i = 0 to 7 do
+      acc.(i) <- acc.(i) +. Statevector.probability sv i
+    done
+  done;
+  for i = 0 to 7 do
+    let avg = acc.(i) /. float_of_int trials in
+    let expected = Density_matrix.probability exact i in
+    if Float.abs (avg -. expected) > 0.02 then
+      Alcotest.failf "trajectory mean %.4f vs channel %.4f at %d" avg expected i
+  done
+
+let test_expectation_diag_agreement () =
+  let c = Circuit.of_gates 2 [ Gate.H 0; Gate.Cphase (0, 1, 1.1); Gate.Rx (1, 0.7) ] in
+  let sv = Statevector.of_circuit c in
+  let dm = Density_matrix.create 2 in
+  Density_matrix.apply_circuit dm c;
+  let f i = float_of_int ((i land 1) + ((i lsr 1) land 1)) in
+  Alcotest.(check (float 1e-9)) "same expectation"
+    (Statevector.expectation_diag sv f)
+    (Density_matrix.expectation_diag dm f)
+
+let test_size_guard () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Density_matrix.create: 0 <= n <= 13") (fun () ->
+      ignore (Density_matrix.create 14))
+
+let test_bad_rate () =
+  let t = Density_matrix.create 1 in
+  Alcotest.check_raises "rate > 1"
+    (Invalid_argument "Density_matrix: bad error rate") (fun () ->
+      Density_matrix.depolarize_1q t 1.5 0)
+
+let suite =
+  [
+    ("initial state", `Quick, test_initial_state);
+    ("of statevector", `Quick, test_of_statevector);
+    ("depolarize 1q", `Quick, test_depolarize_1q_mixes);
+    ("depolarize 2q uniformizes", `Quick, test_depolarize_2q_uniformizes);
+    ("noisy circuit trace preserved", `Quick, test_noisy_circuit_trace_preserved);
+    ("trajectories converge to channel", `Slow, test_trajectories_converge_to_channel);
+    ("expectation agreement", `Quick, test_expectation_diag_agreement);
+    ("size guard", `Quick, test_size_guard);
+    ("bad rate", `Quick, test_bad_rate);
+    QCheck_alcotest.to_alcotest prop_matches_statevector;
+  ]

@@ -1,0 +1,190 @@
+(* Tests for the NP-hard problem encodings: each encoded optimum must
+   match the combinatorial optimum computed by independent brute force
+   on small instances, and the encoded problems must compile through the
+   standard pipeline. *)
+
+module Graph = Qaoa_graph.Graph
+module Generators = Qaoa_graph.Generators
+module Problem = Qaoa_core.Problem
+module Encodings = Qaoa_core.Encodings
+module Ansatz = Qaoa_core.Ansatz
+module Compile = Qaoa_core.Compile
+module Compliance = Qaoa_backend.Compliance
+module Topologies = Qaoa_hardware.Topologies
+module Rng = Qaoa_util.Rng
+
+(* independent brute force over subsets / assignments *)
+let brute_force_sets n score =
+  let best = ref neg_infinity in
+  for bits = 0 to (1 lsl n) - 1 do
+    let sel =
+      List.filter (fun i -> bits land (1 lsl i) <> 0) (List.init n (fun i -> i))
+    in
+    best := Float.max !best (score bits sel)
+  done;
+  !best
+
+let test_mis_matches_bruteforce () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10 do
+    let g = Generators.erdos_renyi rng ~n:7 ~p:0.4 in
+    let problem = Encodings.max_independent_set g in
+    let _, encoded_best = Problem.brute_force_best problem in
+    let true_best =
+      brute_force_sets 7 (fun _ sel ->
+          if Encodings.is_independent_set g sel then
+            float_of_int (List.length sel)
+          else neg_infinity)
+    in
+    Alcotest.(check (float 1e-9)) "MIS size" true_best encoded_best
+  done
+
+let test_mis_optimum_is_independent () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 5 do
+    let g = Generators.erdos_renyi rng ~n:7 ~p:0.5 in
+    let problem = Encodings.max_independent_set g in
+    let bits, _ = Problem.brute_force_best problem in
+    Alcotest.(check bool) "argmax independent" true
+      (Encodings.is_independent_set g (Encodings.decode_selection problem bits))
+  done
+
+let test_vc_matches_bruteforce () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10 do
+    let g = Generators.erdos_renyi rng ~n:7 ~p:0.4 in
+    let problem = Encodings.min_vertex_cover g in
+    let _, encoded_best = Problem.brute_force_best problem in
+    let true_best =
+      brute_force_sets 7 (fun _ sel ->
+          if Encodings.is_vertex_cover g sel then
+            -.float_of_int (List.length sel)
+          else neg_infinity)
+    in
+    Alcotest.(check (float 1e-9)) "-(VC size)" true_best encoded_best
+  done
+
+let test_vc_optimum_is_cover () =
+  let g = Generators.cycle 6 in
+  let problem = Encodings.min_vertex_cover g in
+  let bits, best = Problem.brute_force_best problem in
+  Alcotest.(check (float 1e-9)) "C6 cover size 3" (-3.0) best;
+  Alcotest.(check bool) "argmax covers" true
+    (Encodings.is_vertex_cover g (Encodings.decode_selection problem bits))
+
+let test_partition_perfect () =
+  (* [3; 1; 1; 2; 2; 1] splits evenly (sum 10 -> 5/5) *)
+  let problem = Encodings.number_partitioning [ 3.; 1.; 1.; 2.; 2.; 1. ] in
+  let _, best = Problem.brute_force_best problem in
+  Alcotest.(check (float 1e-9)) "perfect partition" 0.0 best
+
+let test_partition_imperfect () =
+  (* [3; 1; 1] cannot balance: best |diff| = 1 -> optimum -1 *)
+  let problem = Encodings.number_partitioning [ 3.; 1.; 1. ] in
+  let _, best = Problem.brute_force_best problem in
+  Alcotest.(check (float 1e-9)) "best residual 1" (-1.0) best
+
+let random_clauses rng num_vars count =
+  List.init count (fun _ ->
+      let l () =
+        {
+          Encodings.var = Rng.int rng num_vars;
+          negated = Rng.bool rng;
+        }
+      in
+      (l (), l ()))
+
+let test_max2sat_matches_bruteforce () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 10 do
+    let clauses = random_clauses rng 6 12 in
+    let problem = Encodings.max_2sat ~num_vars:6 clauses in
+    let _, encoded_best = Problem.brute_force_best problem in
+    let true_best =
+      brute_force_sets 6 (fun bits _ ->
+          float_of_int (Encodings.count_satisfied clauses bits))
+    in
+    Alcotest.(check (float 1e-9)) "max satisfied" true_best encoded_best
+  done
+
+let test_max2sat_cost_pointwise () =
+  (* the Ising cost must equal the satisfied-clause count at EVERY
+     assignment, not just the optimum *)
+  let rng = Rng.create 5 in
+  let clauses = random_clauses rng 5 10 in
+  let problem = Encodings.max_2sat ~num_vars:5 clauses in
+  for bits = 0 to 31 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "assignment %d" bits)
+      (float_of_int (Encodings.count_satisfied clauses bits))
+      (Problem.cost problem bits)
+  done
+
+let test_max2sat_tautology_and_duplicates () =
+  let v n = { Encodings.var = n; negated = false } in
+  let nv n = { Encodings.var = n; negated = true } in
+  (* (x0 or not x0) & (x1 or x1) *)
+  let clauses = [ (v 0, nv 0); (v 1, v 1) ] in
+  let problem = Encodings.max_2sat ~num_vars:2 clauses in
+  Alcotest.(check (float 1e-9)) "x1 false: only tautology" 1.0
+    (Problem.cost problem 0b00);
+  Alcotest.(check (float 1e-9)) "x1 true: both" 2.0 (Problem.cost problem 0b10)
+
+let test_penalty_validation () =
+  let g = Generators.path 3 in
+  Alcotest.check_raises "mis penalty"
+    (Invalid_argument "Encodings.max_independent_set: penalty must exceed 1")
+    (fun () -> ignore (Encodings.max_independent_set ~penalty:1.0 g));
+  Alcotest.check_raises "vc penalty"
+    (Invalid_argument "Encodings.min_vertex_cover: penalty must exceed 1")
+    (fun () -> ignore (Encodings.min_vertex_cover ~penalty:0.5 g))
+
+let test_encoded_problems_compile () =
+  (* the whole point: these problems flow through the same pipeline *)
+  let rng = Rng.create 6 in
+  let device = Topologies.ibmq_16_melbourne () in
+  let g = Generators.erdos_renyi rng ~n:8 ~p:0.4 in
+  let params = Ansatz.params_p1 ~gamma:0.5 ~beta:0.3 in
+  List.iter
+    (fun problem ->
+      if Problem.cphase_pairs problem <> [] then begin
+        let r =
+          Compile.compile ~strategy:(Compile.Ic None) device problem params
+        in
+        Alcotest.(check bool) "compliant" true
+          (Compliance.is_compliant device r.Compile.circuit)
+      end)
+    [
+      Encodings.max_independent_set g;
+      Encodings.min_vertex_cover g;
+      Encodings.number_partitioning [ 3.; 1.; 4.; 1.; 5. ];
+      Encodings.max_2sat ~num_vars:8 (random_clauses rng 8 10);
+    ]
+
+(* QCheck: MIS penalty objective never rewards dependent sets at the
+   optimum. *)
+let prop_mis_penalized_argmax_independent =
+  QCheck.Test.make ~name:"MIS argmax is always an independent set" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 3 8))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Generators.erdos_renyi rng ~n ~p:0.5 in
+      let problem = Encodings.max_independent_set g in
+      let bits, _ = Problem.brute_force_best problem in
+      Encodings.is_independent_set g (Encodings.decode_selection problem bits))
+
+let suite =
+  [
+    ("MIS matches brute force", `Quick, test_mis_matches_bruteforce);
+    ("MIS argmax independent", `Quick, test_mis_optimum_is_independent);
+    ("VC matches brute force", `Quick, test_vc_matches_bruteforce);
+    ("VC optimum covers", `Quick, test_vc_optimum_is_cover);
+    ("partition perfect", `Quick, test_partition_perfect);
+    ("partition imperfect", `Quick, test_partition_imperfect);
+    ("Max-2-SAT matches brute force", `Quick, test_max2sat_matches_bruteforce);
+    ("Max-2-SAT pointwise", `Quick, test_max2sat_cost_pointwise);
+    ("Max-2-SAT tautology/duplicates", `Quick, test_max2sat_tautology_and_duplicates);
+    ("penalty validation", `Quick, test_penalty_validation);
+    ("encoded problems compile", `Quick, test_encoded_problems_compile);
+    QCheck_alcotest.to_alcotest prop_mis_penalized_argmax_independent;
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the shot-statistics estimator and the direction-constrained
+   CNOT lowering. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Decompose = Qaoa_circuit.Decompose
+module Statevector = Qaoa_sim.Statevector
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Estimator = Qaoa_core.Estimator
+module Generators = Qaoa_graph.Generators
+module Rng = Qaoa_util.Rng
+
+(* --- estimator --- *)
+
+let test_estimate_deterministic_samples () =
+  let problem = Problem.of_maxcut (Generators.cycle 4) in
+  (* all samples are the same optimal cut: zero spread *)
+  let e = Estimator.of_samples problem [| 0b0101; 0b0101; 0b0101 |] in
+  Alcotest.(check (float 1e-9)) "mean" 4.0 e.Estimator.mean;
+  Alcotest.(check (float 1e-9)) "no error" 0.0 e.Estimator.std_error;
+  let lo, hi = e.Estimator.confidence_95 in
+  Alcotest.(check (float 1e-9)) "tight lo" 4.0 lo;
+  Alcotest.(check (float 1e-9)) "tight hi" 4.0 hi
+
+let test_estimate_converges () =
+  let problem = Problem.of_maxcut (Generators.cycle 6) in
+  let params = Ansatz.params_p1 ~gamma:0.6 ~beta:0.4 in
+  let sv = Ansatz.state problem params in
+  let exact = Ansatz.expectation problem params in
+  let small = Estimator.of_state (Rng.create 1) problem sv ~shots:128 in
+  let large = Estimator.of_state (Rng.create 1) problem sv ~shots:16384 in
+  Alcotest.(check bool) "std error shrinks" true
+    (large.Estimator.std_error < small.Estimator.std_error /. 5.0);
+  Alcotest.(check bool) "within 4 sigma of exact" true
+    (Float.abs (large.Estimator.mean -. exact)
+    < 4.0 *. large.Estimator.std_error +. 1e-9)
+
+let test_shots_for_precision () =
+  let problem = Problem.of_maxcut (Generators.cycle 6) in
+  let sv = Ansatz.state problem (Ansatz.params_p1 ~gamma:0.6 ~beta:0.4) in
+  let coarse = Estimator.shots_for_precision problem sv ~std_error:0.1 in
+  let fine = Estimator.shots_for_precision problem sv ~std_error:0.01 in
+  Alcotest.(check bool) "positive" true (coarse > 0);
+  (* ceil rounding: fine is within one coarse-step of exactly 100x *)
+  Alcotest.(check bool) "~100x shots for 10x precision" true
+    (fine <= coarse * 100 && fine > (coarse - 1) * 100);
+  (* empirical check: using the prescribed shots meets the target *)
+  let e = Estimator.of_state (Rng.create 2) problem sv ~shots:coarse in
+  Alcotest.(check bool) "precision reached (within 50% slack)" true
+    (e.Estimator.std_error < 0.15);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Estimator.shots_for_precision: std_error must be positive")
+    (fun () -> ignore (Estimator.shots_for_precision problem sv ~std_error:0.0))
+
+let test_estimator_empty () =
+  let problem = Problem.of_maxcut (Generators.cycle 4) in
+  Alcotest.check_raises "empty" (Invalid_argument "Estimator.of_samples: no samples")
+    (fun () -> ignore (Estimator.of_samples problem [||]))
+
+(* --- directed orientation --- *)
+
+let test_orient_passthrough () =
+  let c = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ] in
+  let o = Decompose.orient ~allowed:[ (0, 1) ] c in
+  Alcotest.(check int) "unchanged" 2 (Circuit.length o)
+
+let test_orient_flips () =
+  let c = Circuit.of_gates 2 [ Gate.Cnot (0, 1) ] in
+  let o = Decompose.orient ~allowed:[ (1, 0) ] c in
+  (* 4 H + flipped CNOT *)
+  Alcotest.(check int) "5 gates" 5 (Circuit.length o);
+  (match Circuit.gates o with
+  | [ Gate.H _; Gate.H _; Gate.Cnot (1, 0); Gate.H _; Gate.H _ ] -> ()
+  | _ -> Alcotest.fail "expected H-conjugated reversed CNOT");
+  Alcotest.(check bool) "same unitary" true
+    (Statevector.equal_up_to_global_phase
+       (Statevector.of_circuit c)
+       (Statevector.of_circuit o))
+
+let test_orient_lowers_first () =
+  (* CPHASE gets decomposed and then oriented *)
+  let c = Circuit.of_gates 2 [ Gate.Cphase (0, 1, 0.7) ] in
+  let o = Decompose.orient ~allowed:[ (1, 0) ] c in
+  Alcotest.(check bool) "all cnots oriented" true
+    (List.for_all
+       (function Gate.Cnot (1, 0) | Gate.Cnot (0, 1) -> false | _ -> true)
+       (List.filter
+          (function Gate.Cnot (0, 1) -> true | _ -> false)
+          (Circuit.gates o)));
+  Alcotest.(check bool) "semantics" true
+    (Statevector.equal_up_to_global_phase
+       (Statevector.of_circuit c)
+       (Statevector.of_circuit o))
+
+let test_orient_missing_pair () =
+  let c = Circuit.of_gates 3 [ Gate.Cnot (0, 2) ] in
+  Alcotest.check_raises "unrouted pair"
+    (Invalid_argument "Decompose.orient: pair (0,2) has no native direction")
+    (fun () -> ignore (Decompose.orient ~allowed:[ (0, 1); (1, 2) ] c))
+
+let prop_orient_preserves_semantics =
+  QCheck.Test.make ~name:"orientation lowering preserves semantics" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      (* line circuit with CNOTs in both directions; allowed = ascending *)
+      let gates =
+        List.init 15 (fun _ ->
+            match Rng.int rng 3 with
+            | 0 -> Gate.H (Rng.int rng n)
+            | 1 ->
+              let a = Rng.int rng (n - 1) in
+              Gate.Cnot (a, a + 1)
+            | _ ->
+              let a = Rng.int rng (n - 1) in
+              Gate.Cnot (a + 1, a))
+      in
+      let c = Circuit.of_gates n gates in
+      let allowed = List.init (n - 1) (fun i -> (i, i + 1)) in
+      let o = Decompose.orient ~allowed c in
+      (* every CNOT flows in the native direction *)
+      List.for_all
+        (function
+          | Gate.Cnot (a, b) -> List.mem (a, b) allowed
+          | _ -> true)
+        (Circuit.gates o)
+      && Statevector.equal_up_to_global_phase ~eps:1e-9
+           (Statevector.of_circuit c) (Statevector.of_circuit o))
+
+let suite =
+  [
+    ("estimate deterministic", `Quick, test_estimate_deterministic_samples);
+    ("estimate converges", `Slow, test_estimate_converges);
+    ("shots for precision", `Quick, test_shots_for_precision);
+    ("estimator empty", `Quick, test_estimator_empty);
+    ("orient passthrough", `Quick, test_orient_passthrough);
+    ("orient flips", `Quick, test_orient_flips);
+    ("orient lowers first", `Quick, test_orient_lowers_first);
+    ("orient missing pair", `Quick, test_orient_missing_pair);
+    QCheck_alcotest.to_alcotest prop_orient_preserves_semantics;
+  ]

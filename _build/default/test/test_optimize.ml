@@ -1,0 +1,272 @@
+(* Tests for the peephole optimizer and the commutation-aware DAG. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Layering = Qaoa_circuit.Layering
+module Decompose = Qaoa_circuit.Decompose
+module Optimize = Qaoa_circuit.Optimize
+module Dag = Qaoa_circuit.Dag
+module Statevector = Qaoa_sim.Statevector
+module Rng = Qaoa_util.Rng
+
+(* --- Optimize --- *)
+
+let test_cancel_pairs () =
+  let cases =
+    [
+      ([ Gate.H 0; Gate.H 0 ], 0);
+      ([ Gate.X 1; Gate.X 1 ], 0);
+      ([ Gate.Cnot (0, 1); Gate.Cnot (0, 1) ], 0);
+      ([ Gate.Swap (0, 1); Gate.Swap (1, 0) ], 0);
+      (* reversed CNOT orientation must NOT cancel *)
+      ([ Gate.Cnot (0, 1); Gate.Cnot (1, 0) ], 2);
+      (* an intervening gate on a shared qubit blocks cancellation *)
+      ([ Gate.H 0; Gate.Rz (0, 0.5); Gate.H 0 ], 3);
+      (* an intervening gate on an unrelated qubit does not *)
+      ([ Gate.H 0; Gate.Rz (2, 0.5); Gate.H 0 ], 1);
+    ]
+  in
+  List.iter
+    (fun (gates, expected) ->
+      let c = Optimize.circuit (Circuit.of_gates 3 gates) in
+      Alcotest.(check int) "gate count" expected (Circuit.length c))
+    cases
+
+let test_merge_rotations () =
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 2 [ Gate.Rz (0, 0.3); Gate.Rz (0, 0.4) ])
+  in
+  (match Circuit.gates c with
+  | [ Gate.Rz (0, a) ] -> Alcotest.(check (float 1e-12)) "sum" 0.7 a
+  | _ -> Alcotest.fail "expected one merged rz");
+  (* merging to zero drops the gate entirely *)
+  let z =
+    Optimize.circuit
+      (Circuit.of_gates 2 [ Gate.Rx (1, 0.3); Gate.Rx (1, -0.3) ])
+  in
+  Alcotest.(check int) "merged to identity" 0 (Circuit.length z);
+  (* cphase merges across qubit order *)
+  let cp =
+    Optimize.circuit
+      (Circuit.of_gates 2 [ Gate.Cphase (0, 1, 0.2); Gate.Cphase (1, 0, 0.5) ])
+  in
+  match Circuit.gates cp with
+  | [ Gate.Cphase (_, _, a) ] -> Alcotest.(check (float 1e-12)) "cphase sum" 0.7 a
+  | _ -> Alcotest.fail "expected one merged cphase"
+
+let test_zero_rotation_dropped () =
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 1 [ Gate.Rz (0, 0.0); Gate.Phase (0, 2.0 *. Float.pi) ])
+  in
+  Alcotest.(check int) "dropped" 0 (Circuit.length c)
+
+let test_barrier_fences () =
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 1 [ Gate.H 0; Gate.Barrier; Gate.H 0 ])
+  in
+  (* barrier prevents the cancellation *)
+  Alcotest.(check int) "h barrier h kept" 3 (Circuit.length c)
+
+let test_measure_blocks () =
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 1 [ Gate.H 0; Gate.Measure 0; Gate.H 0 ])
+  in
+  Alcotest.(check int) "measure blocks" 3 (Circuit.length c)
+
+let test_chain_cancellation () =
+  (* H H H H collapses fully; H H H leaves one *)
+  let four = Optimize.circuit (Circuit.of_gates 1 (List.init 4 (fun _ -> Gate.H 0))) in
+  Alcotest.(check int) "four cancel" 0 (Circuit.length four);
+  let three = Optimize.circuit (Circuit.of_gates 1 (List.init 3 (fun _ -> Gate.H 0))) in
+  Alcotest.(check int) "three leave one" 1 (Circuit.length three)
+
+let test_swap_cphase_lowering_cancels () =
+  (* SWAP(a,b) then CPHASE(a,b): after decomposition, cx(a,b) meets
+     cx(a,b) back to back and cancels - the win the pass targets. *)
+  let c =
+    Decompose.circuit
+      (Circuit.of_gates 2 [ Gate.Swap (0, 1); Gate.Cphase (0, 1, 0.5) ])
+  in
+  let before = Circuit.length c in
+  let after, stats = Optimize.with_stats c in
+  Alcotest.(check int) "before = 6" 6 before;
+  Alcotest.(check bool) "reduced" true (Circuit.length after < before);
+  Alcotest.(check int) "stats before" before stats.Optimize.gates_before;
+  Alcotest.(check int) "stats after" (Circuit.length after) stats.Optimize.gates_after;
+  (* semantics preserved *)
+  Alcotest.(check bool) "same state" true
+    (Statevector.equal_up_to_global_phase
+       (Statevector.of_circuit c)
+       (Statevector.of_circuit (Circuit.of_gates 2 (Circuit.gates after))))
+
+let random_circuit rng n len =
+  Circuit.of_gates n
+    (List.init len (fun _ ->
+         match Rng.int rng 8 with
+         | 0 -> Gate.H (Rng.int rng n)
+         | 1 -> Gate.X (Rng.int rng n)
+         | 2 -> Gate.Rz (Rng.int rng n, Rng.float rng 6.3 -. 3.15)
+         | 3 -> Gate.Rx (Rng.int rng n, Rng.float rng 6.3 -. 3.15)
+         | 4 ->
+           let a = Rng.int rng n in
+           Gate.Cnot (a, (a + 1) mod n)
+         | 5 ->
+           let a = Rng.int rng n in
+           Gate.Cphase (a, (a + 1) mod n, Rng.float rng 6.3 -. 3.15)
+         | 6 ->
+           let a = Rng.int rng n in
+           Gate.Swap (a, (a + 1) mod n)
+         | _ -> Gate.Phase (Rng.int rng n, Rng.float rng 6.3 -. 3.15)))
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"peephole preserves semantics up to global phase"
+    ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng n 40 in
+      let o = Optimize.circuit c in
+      Circuit.length o <= Circuit.length c
+      && Statevector.equal_up_to_global_phase ~eps:1e-8
+           (Statevector.of_circuit c) (Statevector.of_circuit o))
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"peephole is idempotent" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = Optimize.circuit (random_circuit rng n 30) in
+      Circuit.equal c (Optimize.circuit c))
+
+(* --- Dag --- *)
+
+let test_commutes_relation () =
+  Alcotest.(check bool) "disjoint" true
+    (Dag.commutes (Gate.H 0) (Gate.H 1));
+  Alcotest.(check bool) "diagonal pair" true
+    (Dag.commutes (Gate.Cphase (0, 1, 0.5)) (Gate.Cphase (1, 2, 0.3)));
+  Alcotest.(check bool) "rz through cphase" true
+    (Dag.commutes (Gate.Rz (1, 0.4)) (Gate.Cphase (1, 2, 0.3)));
+  Alcotest.(check bool) "h vs cphase conservative" false
+    (Dag.commutes (Gate.H 1) (Gate.Cphase (1, 2, 0.3)));
+  Alcotest.(check bool) "cnot control diagonal" true
+    (Dag.commutes (Gate.Cnot (0, 1)) (Gate.Rz (0, 0.4)));
+  Alcotest.(check bool) "cnot target x" true
+    (Dag.commutes (Gate.Cnot (0, 1)) (Gate.X 1));
+  Alcotest.(check bool) "cnot target diagonal no" false
+    (Dag.commutes (Gate.Cnot (0, 1)) (Gate.Rz (1, 0.4)));
+  Alcotest.(check bool) "same-axis rotations" true
+    (Dag.commutes (Gate.Rx (0, 0.1)) (Gate.Rx (0, 0.2)));
+  Alcotest.(check bool) "measure ordered" false
+    (Dag.commutes (Gate.Measure 0) (Gate.H 0))
+
+let test_dag_qaoa_cost_layer_depth () =
+  (* K4's six CPHASEs all commute: DAG depth must be the bin-packing
+     bound of 3, independent of the (bad) given order. *)
+  let bad_order =
+    [ (0, 1); (1, 2); (0, 2); (2, 3); (0, 3); (1, 3) ]
+  in
+  let c =
+    Circuit.of_gates 4
+      (List.map (fun (a, b) -> Gate.Cphase (a, b, 0.5)) bad_order)
+  in
+  Alcotest.(check int) "naive layering depth 6" 6 (Layering.depth c);
+  let dag = Dag.build c in
+  Alcotest.(check int) "commutation-aware depth 3" 3 (Dag.depth dag)
+
+let test_dag_ordered_dependencies () =
+  let c = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1); Gate.H 1 ] in
+  let dag = Dag.build c in
+  Alcotest.(check (list int)) "cnot depends on h0" [ 0 ] (Dag.predecessors dag 1);
+  Alcotest.(check (list int)) "h1 depends on cnot" [ 1 ] (Dag.predecessors dag 2);
+  Alcotest.(check (list int)) "h0 has successor cnot" [ 1 ] (Dag.successors dag 0);
+  Alcotest.(check int) "depth 3" 3 (Dag.depth dag)
+
+let test_dag_barrier () =
+  let c = Circuit.of_gates 2 [ Gate.H 0; Gate.Barrier; Gate.H 1 ] in
+  let dag = Dag.build c in
+  (* barrier orders h1 after h0 but costs no time step of its own *)
+  Alcotest.(check int) "depth 2" 2 (Dag.depth dag);
+  Alcotest.(check (list int)) "h1 waits for barrier" [ 1 ] (Dag.predecessors dag 2)
+
+let test_dag_empty () =
+  let dag = Dag.build (Circuit.create 3) in
+  Alcotest.(check int) "empty depth" 0 (Dag.depth dag);
+  Alcotest.(check int) "no nodes" 0 (List.length (Dag.nodes dag))
+
+let test_topological_order_valid () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 10 do
+    let c = random_circuit rng 4 25 in
+    let dag = Dag.build c in
+    let order = Dag.topological_order dag in
+    (* every node appears once *)
+    Alcotest.(check int) "complete" (List.length (Dag.nodes dag))
+      (List.length order);
+    (* dependencies respected *)
+    let position = Hashtbl.create 32 in
+    List.iteri (fun i n -> Hashtbl.replace position n.Dag.id i) order;
+    List.iter
+      (fun n ->
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "pred before" true
+              (Hashtbl.find position p < Hashtbl.find position n.Dag.id))
+          (Dag.predecessors dag n.Dag.id))
+      (Dag.nodes dag)
+  done
+
+(* QCheck: reordering a circuit by DAG topological order preserves
+   semantics (the commutation relation is sound). *)
+let prop_dag_reorder_sound =
+  QCheck.Test.make ~name:"DAG topological reorder preserves semantics"
+    ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng n 25 in
+      let dag = Dag.build c in
+      let reordered =
+        Circuit.of_gates n
+          (List.filter_map
+             (fun node ->
+               match node.Dag.gate with Gate.Barrier -> None | g -> Some g)
+             (Dag.topological_order dag))
+      in
+      Statevector.equal_up_to_global_phase ~eps:1e-8
+        (Statevector.of_circuit c)
+        (Statevector.of_circuit reordered))
+
+(* QCheck: DAG depth never exceeds the order-tied ASAP depth. *)
+let prop_dag_depth_bound =
+  QCheck.Test.make ~name:"DAG depth <= ASAP depth" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng n 30 in
+      Dag.depth (Dag.build c) <= Layering.depth c)
+
+let suite =
+  [
+    ("cancel pairs", `Quick, test_cancel_pairs);
+    ("merge rotations", `Quick, test_merge_rotations);
+    ("zero rotations dropped", `Quick, test_zero_rotation_dropped);
+    ("barrier fences", `Quick, test_barrier_fences);
+    ("measure blocks", `Quick, test_measure_blocks);
+    ("chain cancellation", `Quick, test_chain_cancellation);
+    ("swap+cphase lowering cancels", `Quick, test_swap_cphase_lowering_cancels);
+    ("dag commutes relation", `Quick, test_commutes_relation);
+    ("dag qaoa cost layer depth", `Quick, test_dag_qaoa_cost_layer_depth);
+    ("dag ordered dependencies", `Quick, test_dag_ordered_dependencies);
+    ("dag barrier", `Quick, test_dag_barrier);
+    ("dag empty", `Quick, test_dag_empty);
+    ("topological order valid", `Quick, test_topological_order_valid);
+    QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_optimize_idempotent;
+    QCheck_alcotest.to_alcotest prop_dag_reorder_sound;
+    QCheck_alcotest.to_alcotest prop_dag_depth_bound;
+  ]

@@ -1,0 +1,163 @@
+(* Whole-pipeline fuzzing: random problems x devices x strategies x
+   seeds, checking the compilation invariants that must hold regardless
+   of inputs, plus report-generation round trips. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Metrics = Qaoa_circuit.Metrics
+module Device = Qaoa_hardware.Device
+module Topologies = Qaoa_hardware.Topologies
+module Compliance = Qaoa_backend.Compliance
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Compile = Qaoa_core.Compile
+module Workload = Qaoa_experiments.Workload
+module Figures = Qaoa_experiments.Figures
+module Report = Qaoa_experiments.Report
+module Rng = Qaoa_util.Rng
+
+let devices =
+  lazy
+    [
+      Topologies.ibmq_16_melbourne ();
+      Device.with_random_calibration (Rng.create 99) (Topologies.ibmq_20_tokyo ());
+      Device.with_random_calibration (Rng.create 98) (Topologies.heavy_hex_27 ());
+      Device.with_random_calibration (Rng.create 97) (Topologies.grid_6x6 ());
+    ]
+
+let kinds =
+  [
+    Workload.Erdos_renyi 0.3;
+    Workload.Regular 3;
+    Workload.Barabasi_albert 2;
+    Workload.Watts_strogatz (4, 0.2);
+  ]
+
+(* consistency of the metrics record with the circuit itself *)
+let metrics_consistent (r : Compile.result) problem =
+  let gates = Circuit.gates r.Compile.circuit in
+  let count p = List.length (List.filter p gates) in
+  let cphases = count (function Gate.Cphase _ -> true | _ -> false) in
+  let swaps = count (function Gate.Swap _ -> true | _ -> false) in
+  let cnots = count (function Gate.Cnot _ -> true | _ -> false) in
+  let m = r.Compile.metrics in
+  cphases = List.length (Problem.cphase_pairs problem)
+  && swaps = r.Compile.swap_count
+  && m.Metrics.two_qubit_count = (2 * cphases) + (3 * swaps) + cnots
+  && m.Metrics.depth > 0
+  && m.Metrics.depth <= m.Metrics.gate_count + m.Metrics.measure_count
+
+let prop_pipeline_invariants =
+  QCheck.Test.make ~name:"pipeline invariants across devices/strategies"
+    ~count:40
+    QCheck.(
+      quad (int_bound 100000) (int_bound 3) (int_bound 3) (int_range 6 12))
+    (fun (seed, device_i, kind_i, n) ->
+      let device = List.nth (Lazy.force devices) device_i in
+      let kind = List.nth kinds kind_i in
+      (* regular workloads need n * d even *)
+      let n = match kind with Workload.Regular d when n * d mod 2 = 1 -> n + 1 | _ -> n in
+      let rng = Rng.create seed in
+      let problem = List.hd (Workload.problems rng kind ~n ~count:1) in
+      let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4 in
+      let options = { Compile.default_options with seed } in
+      List.for_all
+        (fun strategy ->
+          let r = Compile.compile ~options ~strategy device problem params in
+          Compliance.is_compliant device r.Compile.circuit
+          && metrics_consistent r problem)
+        Compile.all_strategies)
+
+let prop_pipeline_deterministic =
+  QCheck.Test.make ~name:"pipeline deterministic under fixed seed" ~count:20
+    QCheck.(pair (int_bound 100000) (int_range 6 10))
+    (fun (seed, n) ->
+      let device = Topologies.ibmq_16_melbourne () in
+      let problem =
+        List.hd
+          (Workload.problems (Rng.create seed) (Workload.Regular 3) ~n:(2 * (n / 2))
+             ~count:1)
+      in
+      let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4 in
+      let options = { Compile.default_options with seed } in
+      List.for_all
+        (fun strategy ->
+          let a = Compile.compile ~options ~strategy device problem params in
+          let b = Compile.compile ~options ~strategy device problem params in
+          Circuit.equal a.Compile.circuit b.Compile.circuit)
+        [ Compile.Qaim; Compile.Ip; Compile.Ic None; Compile.Vic None ])
+
+let prop_peephole_end_to_end =
+  QCheck.Test.make ~name:"peephole option never hurts and stays compliant"
+    ~count:20
+    QCheck.(pair (int_bound 100000) (int_range 6 10))
+    (fun (seed, n) ->
+      let device = Topologies.ibmq_16_melbourne () in
+      let problem =
+        List.hd
+          (Workload.problems (Rng.create seed) (Workload.Erdos_renyi 0.4) ~n
+             ~count:1)
+      in
+      let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4 in
+      let plain =
+        Compile.compile
+          ~options:{ Compile.default_options with seed }
+          ~strategy:(Compile.Ic None) device problem params
+      in
+      let opt =
+        Compile.compile
+          ~options:{ Compile.default_options with seed; peephole = true }
+          ~strategy:(Compile.Ic None) device problem params
+      in
+      Compliance.is_compliant device opt.Compile.circuit
+      && opt.Compile.metrics.Metrics.gate_count
+         <= plain.Compile.metrics.Metrics.gate_count)
+
+(* --- report generation --- *)
+
+let test_report_section_known () =
+  let rows = [ ("x", [ 1.0; 2.0 ]) ] in
+  let s = Report.section_of_rows ~scale:Figures.Smoke "fig10" rows in
+  Alcotest.(check string) "id" "fig10" s.Report.id;
+  Alcotest.(check bool) "paper notes present" true (s.Report.paper_notes <> []);
+  let md = Report.section_to_markdown s in
+  Alcotest.(check bool) "has heading" true
+    (String.length md > 3 && String.sub md 0 3 = "## ");
+  Alcotest.(check bool) "has blockquote" true
+    (List.exists
+       (fun l -> String.length l > 1 && String.sub l 0 1 = ">")
+       (String.split_on_char '\n' md))
+
+let test_report_section_unknown () =
+  let s =
+    Report.section_of_rows ~scale:Figures.Smoke "ablation_xyz"
+      [ ("a", [ 1.0 ]); ("b", [ 2.0; 3.0 ]) ]
+  in
+  Alcotest.(check (list string)) "generic columns" [ "v0"; "v1" ] s.Report.columns
+
+let test_report_document () =
+  let sections =
+    [
+      Report.section_of_rows ~scale:Figures.Smoke "fig7" [ ("w", [ 0.9 ]) ];
+      Report.section_of_rows ~scale:Figures.Smoke "ring8" [ ("IC", [ 20.0; 50.0; 0.1 ]) ];
+    ]
+  in
+  let md = Report.to_markdown ~scale:Figures.Smoke sections in
+  Alcotest.(check bool) "title" true
+    (String.length md > 1 && String.sub md 0 1 = "#");
+  let contains needle =
+    let nl = String.length needle and sl = String.length md in
+    let rec go i = i + nl <= sl && (String.sub md i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "both sections" true (contains "fig7" && contains "ring8")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pipeline_invariants;
+    QCheck_alcotest.to_alcotest prop_pipeline_deterministic;
+    QCheck_alcotest.to_alcotest prop_peephole_end_to_end;
+    ("report known section", `Quick, test_report_section_known);
+    ("report unknown section", `Quick, test_report_section_unknown);
+    ("report document", `Quick, test_report_document);
+  ]

@@ -1,0 +1,166 @@
+(* Tests for ALAP layering, the ASCII circuit renderer and the parameter
+   landscape module. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Layering = Qaoa_circuit.Layering
+module Render = Qaoa_circuit.Render
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Analytic = Qaoa_core.Analytic
+module Landscape = Qaoa_core.Landscape
+module Generators = Qaoa_graph.Generators
+module Statevector = Qaoa_sim.Statevector
+module Rng = Qaoa_util.Rng
+
+(* --- ALAP --- *)
+
+let test_alap_same_depth_and_gates () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10 do
+    let gates =
+      List.init 20 (fun _ ->
+          match Rng.int rng 3 with
+          | 0 -> Gate.H (Rng.int rng 4)
+          | 1 ->
+            let a = Rng.int rng 4 in
+            Gate.Cnot (a, (a + 1) mod 4)
+          | _ -> Gate.Rz (Rng.int rng 4, 0.5))
+    in
+    let c = Circuit.of_gates 4 gates in
+    let asap = Layering.layers c and alap = Layering.alap_layers c in
+    Alcotest.(check int) "same depth" (List.length asap) (List.length alap);
+    Alcotest.(check bool) "alap disjoint" true (Layering.check_layers_disjoint alap);
+    Alcotest.(check int) "all gates present" (Circuit.length c)
+      (List.length (List.concat alap))
+  done
+
+let test_alap_sinks_gates () =
+  (* H on q0 has no consumer until the end; ALAP must push it past q1's
+     long chain *)
+  let c =
+    Circuit.of_gates 2
+      [ Gate.H 0; Gate.H 1; Gate.Rz (1, 0.1); Gate.Rz (1, 0.2); Gate.Cnot (0, 1) ]
+  in
+  let alap = Layering.alap_layers c in
+  (* the H 0 should appear in the next-to-last layer (just before CNOT) *)
+  let layer_of_h0 =
+    List.mapi (fun i l -> (i, l)) alap
+    |> List.find_map (fun (i, l) ->
+           if List.exists (fun g -> Gate.equal g (Gate.H 0)) l then Some i
+           else None)
+  in
+  Alcotest.(check (option int)) "h0 sunk to layer 2" (Some 2) layer_of_h0
+
+let test_alap_semantics () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 5 do
+    let gates =
+      List.init 15 (fun _ ->
+          match Rng.int rng 3 with
+          | 0 -> Gate.H (Rng.int rng 3)
+          | 1 ->
+            let a = Rng.int rng 3 in
+            Gate.Cnot (a, (a + 1) mod 3)
+          | _ -> Gate.Rx (Rng.int rng 3, Rng.float rng 3.0))
+    in
+    let c = Circuit.of_gates 3 gates in
+    let relaid = Circuit.of_gates 3 (List.concat (Layering.alap_layers c)) in
+    Alcotest.(check bool) "alap preserves semantics" true
+      (Statevector.equal_up_to_global_phase
+         (Statevector.of_circuit c)
+         (Statevector.of_circuit relaid))
+  done
+
+(* --- Render --- *)
+
+let test_render_bell () =
+  let c =
+    Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1); Gate.Measure 0; Gate.Measure 1 ]
+  in
+  let s = Render.to_string c in
+  Alcotest.(check string) "golden bell"
+    "q0: -H-o-M-\nq1: ---X-M-\n" s
+
+let test_render_gate_symbols () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Cphase (0, 1, 0.5); Gate.Swap (0, 1); Gate.Rz (0, 0.1) ]
+  in
+  let s = Render.to_string c in
+  Alcotest.(check string) "golden symbols"
+    "q0: -#-x-RZ-\nq1: -#-x----\n" s
+
+let test_render_empty () =
+  let s = Render.to_string (Circuit.create 2) in
+  Alcotest.(check string) "empty" "q0: -\nq1: -\n" s
+
+(* --- Landscape --- *)
+
+let test_landscape_matches_optimize () =
+  let g = Generators.cycle 6 in
+  let problem = Problem.of_maxcut g in
+  let t = Landscape.grid ~gamma_points:32 ~beta_points:32 problem in
+  let (_, _), grid_best = Landscape.best t in
+  let _, opt = Analytic.optimize ~grid:32 g in
+  Alcotest.(check bool)
+    (Printf.sprintf "grid best %.3f within 2%% of optimum %.3f" grid_best opt)
+    true
+    (grid_best > opt *. 0.98)
+
+let test_landscape_zero_row () =
+  (* beta = 0 leaves the uniform superposition: every gamma gives m/2 *)
+  let problem = Problem.of_maxcut (Generators.cycle 4) in
+  let t = Landscape.grid ~gamma_points:8 ~beta_points:4 problem in
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "beta=0 at gamma_%d" i)
+        2.0 row.(0))
+    t.values
+
+let test_landscape_weighted_uses_simulator () =
+  (* weighted problems can't use the closed form; values must still match
+     the simulator *)
+  let problem =
+    Problem.create ~num_vars:3 [ (0, 1, -1.0); (1, 2, -0.25) ]
+  in
+  let t = Landscape.grid ~gamma_points:4 ~beta_points:4 problem in
+  let direct =
+    Ansatz.expectation problem
+      (Ansatz.params_p1 ~gamma:t.Landscape.gammas.(1) ~beta:t.Landscape.betas.(2))
+  in
+  Alcotest.(check (float 1e-9)) "simulator value" direct t.Landscape.values.(1).(2)
+
+let test_landscape_ascii_shape () =
+  let problem = Problem.of_maxcut (Generators.cycle 4) in
+  let t = Landscape.grid ~gamma_points:10 ~beta_points:6 problem in
+  let art = Landscape.ascii t in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' art) in
+  Alcotest.(check int) "one row per beta" 6 (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check int) "one char per gamma" 10 (String.length l))
+    lines
+
+let test_landscape_csv () =
+  let problem = Problem.of_maxcut (Generators.cycle 4) in
+  let t = Landscape.grid ~gamma_points:2 ~beta_points:2 problem in
+  let csv = Landscape.to_csv t in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + 4 points" 5 (List.length lines);
+  Alcotest.(check string) "header" "gamma,beta,expectation" (List.hd lines)
+
+let suite =
+  [
+    ("alap same depth", `Quick, test_alap_same_depth_and_gates);
+    ("alap sinks gates", `Quick, test_alap_sinks_gates);
+    ("alap semantics", `Quick, test_alap_semantics);
+    ("render bell (golden)", `Quick, test_render_bell);
+    ("render symbols (golden)", `Quick, test_render_gate_symbols);
+    ("render empty", `Quick, test_render_empty);
+    ("landscape matches optimize", `Quick, test_landscape_matches_optimize);
+    ("landscape beta=0 row", `Quick, test_landscape_zero_row);
+    ("landscape weighted simulator path", `Quick, test_landscape_weighted_uses_simulator);
+    ("landscape ascii shape", `Quick, test_landscape_ascii_shape);
+    ("landscape csv", `Quick, test_landscape_csv);
+  ]

@@ -1,0 +1,173 @@
+(* Tests for the SABRE-style router: correctness (compliance + semantics
+   up to permutation), dependency handling, and sanity against the
+   layer-partitioned router. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Device = Qaoa_hardware.Device
+module Topologies = Qaoa_hardware.Topologies
+module Mapping = Qaoa_backend.Mapping
+module Router = Qaoa_backend.Router
+module Sabre = Qaoa_backend.Sabre
+module Compliance = Qaoa_backend.Compliance
+module Statevector = Qaoa_sim.Statevector
+module Rng = Qaoa_util.Rng
+
+let embed mapping ~num_logical b =
+  let out = ref 0 in
+  for l = 0 to num_logical - 1 do
+    if b land (1 lsl l) <> 0 then out := !out lor (1 lsl (Mapping.phys mapping l))
+  done;
+  !out
+
+let check_semantics device initial circuit =
+  let r = Sabre.route ~device ~initial circuit in
+  Alcotest.(check bool) "compliant" true
+    (Compliance.is_compliant device r.Router.circuit);
+  let k = Circuit.num_qubits circuit in
+  let sl = Statevector.of_circuit circuit in
+  let sp = Statevector.of_circuit r.Router.circuit in
+  for b = 0 to (1 lsl k) - 1 do
+    let lr, li = Statevector.amplitude sl b in
+    let pr, pi =
+      Statevector.amplitude sp (embed r.Router.final_mapping ~num_logical:k b)
+    in
+    if Float.abs (lr -. pr) > 1e-9 || Float.abs (li -. pi) > 1e-9 then
+      Alcotest.failf "amplitude mismatch at %d" b
+  done;
+  r
+
+let random_2q_circuit rng n len =
+  Circuit.of_gates n
+    (List.init len (fun _ ->
+         match Rng.int rng 4 with
+         | 0 -> Gate.H (Rng.int rng n)
+         | 1 -> Gate.Rz (Rng.int rng n, Rng.float rng 3.0)
+         | 2 ->
+           let a = Rng.int rng n in
+           let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+           Gate.Cnot (a, b)
+         | _ ->
+           let a = Rng.int rng n in
+           let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+           Gate.Cphase (a, b, Rng.float rng 3.0)))
+
+let test_adjacent_no_swaps () =
+  let device = Topologies.linear 3 in
+  let c = Circuit.of_gates 3 [ Gate.Cnot (0, 1); Gate.Cnot (1, 2) ] in
+  let r =
+    Sabre.route ~device
+      ~initial:(Mapping.trivial ~num_logical:3 ~num_physical:3)
+      c
+  in
+  Alcotest.(check int) "no swaps" 0 r.Router.swap_count
+
+let test_semantics_small_devices () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun device ->
+      for _ = 1 to 4 do
+        let n = min 5 (Device.num_qubits device) in
+        let c = random_2q_circuit rng n 14 in
+        let initial =
+          Mapping.random rng ~num_logical:n
+            ~num_physical:(Device.num_qubits device)
+        in
+        ignore (check_semantics device initial c)
+      done)
+    [ Topologies.linear 5; Topologies.ring 6; Topologies.linear 7 ]
+
+let test_dependencies_respected () =
+  (* measure then gate on the same qubit must stay ordered *)
+  let device = Topologies.linear 2 in
+  let c =
+    Circuit.of_gates 2 [ Gate.H 0; Gate.Measure 0; Gate.X 0; Gate.Barrier; Gate.H 1 ]
+  in
+  let r =
+    Sabre.route ~device
+      ~initial:(Mapping.trivial ~num_logical:2 ~num_physical:2)
+      c
+  in
+  let names = List.map Gate.name (Circuit.gates r.Router.circuit) in
+  Alcotest.(check (list string)) "order preserved"
+    [ "h"; "measure"; "x"; "barrier"; "h" ]
+    names
+
+let test_validation () =
+  let device = Topologies.linear 3 in
+  let c = Circuit.of_gates 3 [ Gate.H 0 ] in
+  Alcotest.check_raises "small mapping"
+    (Invalid_argument "Sabre: mapping covers fewer qubits than the circuit")
+    (fun () ->
+      ignore
+        (Sabre.route ~device
+           ~initial:(Mapping.trivial ~num_logical:2 ~num_physical:3)
+           c))
+
+let test_comparable_to_primary_router () =
+  (* on QAOA workloads both engines should land in the same quality
+     ballpark: SABRE within 2x of the primary router's swap count *)
+  let rng = Rng.create 43 in
+  let device = Topologies.ibmq_20_tokyo () in
+  let total_primary = ref 0 and total_sabre = ref 0 in
+  for seed = 0 to 5 do
+    let g = Qaoa_graph.Generators.random_regular (Rng.create seed) ~n:14 ~d:3 in
+    let problem = Qaoa_core.Problem.of_maxcut g in
+    let circuit =
+      Qaoa_core.Ansatz.circuit problem
+        (Qaoa_core.Ansatz.params_p1 ~gamma:0.7 ~beta:0.4)
+    in
+    let initial = Mapping.random rng ~num_logical:14 ~num_physical:20 in
+    let a = Router.route ~device ~initial circuit in
+    let b = Sabre.route ~device ~initial circuit in
+    Alcotest.(check bool) "sabre compliant" true
+      (Compliance.is_compliant device b.Router.circuit);
+    total_primary := !total_primary + a.Router.swap_count;
+    total_sabre := !total_sabre + b.Router.swap_count
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "swap counts comparable (primary %d, sabre %d)"
+       !total_primary !total_sabre)
+    true
+    (!total_sabre <= 2 * !total_primary)
+
+let prop_sabre_semantics =
+  QCheck.Test.make ~name:"sabre preserves semantics up to permutation"
+    ~count:30
+    QCheck.(pair (int_bound 100000) (int_range 3 6))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let device =
+        if n mod 2 = 0 then Topologies.linear n else Topologies.ring (max 3 n)
+      in
+      let c = random_2q_circuit rng n 12 in
+      let initial =
+        Mapping.random rng ~num_logical:n
+          ~num_physical:(Device.num_qubits device)
+      in
+      let r = Sabre.route ~device ~initial c in
+      Compliance.is_compliant device r.Router.circuit
+      &&
+      let sl = Statevector.of_circuit c in
+      let sp = Statevector.of_circuit r.Router.circuit in
+      let ok = ref true in
+      for b = 0 to (1 lsl n) - 1 do
+        let lr, li = Statevector.amplitude sl b in
+        let pr, pi =
+          Statevector.amplitude sp
+            (embed r.Router.final_mapping ~num_logical:n b)
+        in
+        if Float.abs (lr -. pr) > 1e-9 || Float.abs (li -. pi) > 1e-9 then
+          ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ("adjacent no swaps", `Quick, test_adjacent_no_swaps);
+    ("semantics small devices", `Quick, test_semantics_small_devices);
+    ("dependencies respected", `Quick, test_dependencies_respected);
+    ("validation", `Quick, test_validation);
+    ("comparable to primary router", `Slow, test_comparable_to_primary_router);
+    QCheck_alcotest.to_alcotest prop_sabre_semantics;
+  ]

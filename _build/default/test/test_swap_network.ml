@@ -1,0 +1,268 @@
+(* Tests for the SWAP-network scheduler and readout mitigation. *)
+
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Layering = Qaoa_circuit.Layering
+module Device = Qaoa_hardware.Device
+module Topologies = Qaoa_hardware.Topologies
+module Mapping = Qaoa_backend.Mapping
+module Compliance = Qaoa_backend.Compliance
+module Router = Qaoa_backend.Router
+module Statevector = Qaoa_sim.Statevector
+module Sampler = Qaoa_sim.Sampler
+module Mitigation = Qaoa_sim.Mitigation
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Compile = Qaoa_core.Compile
+module Swap_network = Qaoa_core.Swap_network
+module Generators = Qaoa_graph.Generators
+module Rng = Qaoa_util.Rng
+
+let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4
+
+(* --- Swap network --- *)
+
+let test_serpentine_line () =
+  let line = Swap_network.serpentine_line ~rows:3 ~cols:3 in
+  Alcotest.(check (list int)) "boustrophedon"
+    [ 0; 1; 2; 5; 4; 3; 6; 7; 8 ] line;
+  (* consecutive vertices coupled on the grid *)
+  let device = Topologies.grid ~rows:3 ~cols:3 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "coupled" true (Device.coupled device a b);
+      check rest
+    | _ -> ()
+  in
+  check line
+
+let test_network_meets_every_pair () =
+  (* Every problem CPHASE must appear exactly once even for K_n. *)
+  let device = Topologies.linear 6 in
+  let problem = Problem.of_maxcut (Generators.complete 6) in
+  let line = [ 0; 1; 2; 3; 4; 5 ] in
+  let r = Swap_network.compile ~line device problem params in
+  let cphases =
+    List.filter (function Gate.Cphase _ -> true | _ -> false)
+      (Circuit.gates r.Router.circuit)
+  in
+  Alcotest.(check int) "C(6,2) cphases" 15 (List.length cphases);
+  Alcotest.(check int) "n(n-1)/2 swaps" 15 r.Router.swap_count;
+  Alcotest.(check bool) "compliant" true
+    (Compliance.is_compliant device r.Router.circuit)
+
+let test_network_semantics () =
+  let device = Topologies.linear 5 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 5 do
+    let g = Generators.erdos_renyi rng ~n:5 ~p:0.6 in
+    if Qaoa_graph.Graph.num_edges g > 0 then begin
+      let problem = Problem.of_maxcut g in
+      let r =
+        Swap_network.compile ~line:[ 0; 1; 2; 3; 4 ] device problem params
+      in
+      let logical = Ansatz.state problem params in
+      let phys = Statevector.of_circuit r.Router.circuit in
+      for b = 0 to 31 do
+        let idx = ref 0 in
+        for l = 0 to 4 do
+          if b land (1 lsl l) <> 0 then
+            idx := !idx lor (1 lsl (Mapping.phys r.Router.final_mapping l))
+        done;
+        let pl = Statevector.probability logical b in
+        let pp = Statevector.probability phys !idx in
+        if Float.abs (pl -. pp) > 1e-9 then
+          Alcotest.failf "probability mismatch at %d" b
+      done
+    end
+  done
+
+let test_network_on_grid () =
+  let device = Topologies.grid_6x6 () in
+  let line = Swap_network.serpentine_line ~rows:6 ~cols:6 in
+  let rng = Rng.create 5 in
+  let problem =
+    Problem.of_maxcut (Generators.erdos_renyi rng ~n:20 ~p:0.8)
+  in
+  let r = Swap_network.compile ~line device problem params in
+  Alcotest.(check bool) "compliant" true
+    (Compliance.is_compliant device r.Router.circuit);
+  (* linear-depth guarantee: depth O(n), far below a routed dense graph's
+     worst case; sanity bound 6 * n *)
+  Alcotest.(check bool) "depth linear-ish" true
+    (Layering.depth r.Router.circuit < 6 * 20)
+
+let test_network_dense_beats_ic_in_depth () =
+  (* On dense instances the swap network's structured schedule should
+     match or beat routed IC depth. *)
+  let device = Topologies.grid_6x6 () in
+  let line = Swap_network.serpentine_line ~rows:6 ~cols:6 in
+  let rng = Rng.create 7 in
+  let wins = ref 0 in
+  for seed = 0 to 4 do
+    let problem =
+      Problem.of_maxcut (Generators.erdos_renyi rng ~n:24 ~p:0.9)
+    in
+    let sn = Swap_network.compile ~line device problem params in
+    let options = { Compile.default_options with seed } in
+    let ic = Compile.compile ~options ~strategy:(Compile.Ic None) device problem params in
+    let sn_depth =
+      (Qaoa_circuit.Metrics.of_circuit sn.Router.circuit).Qaoa_circuit.Metrics.depth
+    in
+    if sn_depth <= ic.Compile.metrics.Qaoa_circuit.Metrics.depth then incr wins
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "network wins %d/5 dense instances" !wins)
+    true (!wins >= 3)
+
+let test_network_validation () =
+  let device = Topologies.linear 4 in
+  let problem = Problem.of_maxcut (Generators.complete 4) in
+  Alcotest.check_raises "short line"
+    (Invalid_argument "Swap_network.compile: line shorter than problem")
+    (fun () ->
+      ignore (Swap_network.compile ~line:[ 0; 1 ] device problem params));
+  Alcotest.check_raises "broken line"
+    (Invalid_argument "Swap_network.compile: line is not a coupled path")
+    (fun () ->
+      ignore (Swap_network.compile ~line:[ 0; 2; 1; 3 ] device problem params));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Swap_network.compile: line revisits a qubit")
+    (fun () ->
+      ignore
+        (Swap_network.compile ~line:[ 0; 1; 0; 1 ] device problem params))
+
+let test_network_multilevel () =
+  let device = Topologies.linear 4 in
+  let problem = Problem.of_maxcut (Generators.complete 4) in
+  let p2 = { Ansatz.gammas = [| 0.7; 0.2 |]; betas = [| 0.4; 0.9 |] } in
+  let r = Swap_network.compile ~line:[ 0; 1; 2; 3 ] device problem p2 in
+  (* two full networks: qubits return to their start positions *)
+  Alcotest.(check bool) "mapping restored" true
+    (Mapping.equal r.Router.final_mapping
+       (Mapping.of_array ~num_physical:4 [| 0; 1; 2; 3 |]));
+  let logical = Ansatz.state problem p2 in
+  let phys = Statevector.of_circuit r.Router.circuit in
+  for b = 0 to 15 do
+    if
+      Float.abs
+        (Statevector.probability logical b -. Statevector.probability phys b)
+      > 1e-9
+    then Alcotest.failf "p=2 mismatch at %d" b
+  done
+
+(* --- Mitigation --- *)
+
+let test_inverse_confusion_identity () =
+  let dist = [| 0.25; 0.25; 0.25; 0.25 |] in
+  let out = Mitigation.apply_inverse_confusion ~p:0.0 ~num_qubits:2 dist in
+  Alcotest.(check (array (float 1e-12))) "p=0 identity" dist out
+
+let test_inverse_confusion_roundtrip () =
+  (* apply the forward channel then unfold: must recover the input *)
+  let p = 0.08 in
+  let forward dist =
+    let n = 2 in
+    let size = 1 lsl n in
+    let out = Array.make size 0.0 in
+    for i = 0 to size - 1 do
+      for j = 0 to size - 1 do
+        (* probability of reading j given true i *)
+        let prob = ref 1.0 in
+        for q = 0 to n - 1 do
+          let same = (i lsr q) land 1 = (j lsr q) land 1 in
+          prob := !prob *. if same then 1.0 -. p else p
+        done;
+        out.(j) <- out.(j) +. (dist.(i) *. !prob)
+      done
+    done;
+    out
+  in
+  let dist = [| 0.5; 0.1; 0.15; 0.25 |] in
+  let recovered =
+    Mitigation.apply_inverse_confusion ~p ~num_qubits:2 (forward dist)
+  in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "entry %d" i) dist.(i) x)
+    recovered
+
+let test_mitigation_validation () =
+  Alcotest.check_raises "p too large"
+    (Invalid_argument "Mitigation: flip probability must be in [0, 0.5)")
+    (fun () ->
+      ignore
+        (Mitigation.apply_inverse_confusion ~p:0.5 ~num_qubits:1 [| 1.0; 0.0 |]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Mitigation: distribution length mismatch") (fun () ->
+      ignore (Mitigation.apply_inverse_confusion ~p:0.1 ~num_qubits:2 [| 1.0 |]))
+
+let test_clip_and_renormalize () =
+  let out = Mitigation.clip_and_renormalize [| 0.6; -0.1; 0.5 |] in
+  Alcotest.(check (float 1e-12)) "sums to one" 1.0
+    (Array.fold_left ( +. ) 0.0 out);
+  Alcotest.(check (float 1e-12)) "negative clipped" 0.0 out.(1)
+
+let test_mitigation_recovers_bell () =
+  (* Bell state sampled through readout noise: mitigated expectation of
+     the parity observable must be closer to the ideal 1.0 than raw. *)
+  let rng = Rng.create 11 in
+  let p = 0.1 in
+  let sv =
+    Statevector.of_circuit
+      (Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ])
+  in
+  let shots = 20000 in
+  let noisy_counts = Hashtbl.create 4 in
+  Array.iter
+    (fun s ->
+      let s = Sampler.flip_bits rng ~p ~num_qubits:2 s in
+      Hashtbl.replace noisy_counts s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt noisy_counts s)))
+    (Sampler.sample_many rng sv ~shots);
+  let counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) noisy_counts [] in
+  let parity b = if (b land 1) lxor ((b lsr 1) land 1) = 0 then 1.0 else -1.0 in
+  let raw =
+    List.fold_left
+      (fun acc (b, c) -> acc +. (parity b *. float_of_int c))
+      0.0 counts
+    /. float_of_int shots
+  in
+  let mitigated = Mitigation.expectation ~p ~num_qubits:2 parity counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "mitigated %.3f closer to 1 than raw %.3f" mitigated raw)
+    true
+    (Float.abs (mitigated -. 1.0) < Float.abs (raw -. 1.0));
+  Alcotest.(check bool) "mitigated near ideal" true
+    (Float.abs (mitigated -. 1.0) < 0.05)
+
+let prop_mitigation_distribution_valid =
+  QCheck.Test.make ~name:"mitigated counts form a distribution" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 1 4))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let size = 1 lsl n in
+      let counts =
+        List.init (Rng.int rng 6 + 1) (fun _ ->
+            (Rng.int rng size, 1 + Rng.int rng 100))
+      in
+      let dist = Mitigation.mitigate_counts ~p:0.05 ~num_qubits:n counts in
+      Array.for_all (fun x -> x >= 0.0) dist
+      && Float.abs (Array.fold_left ( +. ) 0.0 dist -. 1.0) < 1e-9)
+
+let suite =
+  [
+    ("serpentine line", `Quick, test_serpentine_line);
+    ("network meets every pair", `Quick, test_network_meets_every_pair);
+    ("network semantics", `Quick, test_network_semantics);
+    ("network on grid", `Quick, test_network_on_grid);
+    ("network dense vs IC depth", `Slow, test_network_dense_beats_ic_in_depth);
+    ("network validation", `Quick, test_network_validation);
+    ("network multilevel", `Quick, test_network_multilevel);
+    ("mitigation: p=0 identity", `Quick, test_inverse_confusion_identity);
+    ("mitigation: forward/backward roundtrip", `Quick, test_inverse_confusion_roundtrip);
+    ("mitigation: validation", `Quick, test_mitigation_validation);
+    ("mitigation: clip and renormalize", `Quick, test_clip_and_renormalize);
+    ("mitigation: recovers bell parity", `Slow, test_mitigation_recovers_bell);
+    QCheck_alcotest.to_alcotest prop_mitigation_distribution_valid;
+  ]

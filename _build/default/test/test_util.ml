@@ -1,0 +1,230 @@
+(* Unit and property tests for the qaoa_util substrate. *)
+
+module Rng = Qaoa_util.Rng
+module Stats = Qaoa_util.Stats
+module Table = Qaoa_util.Table
+module Float_matrix = Qaoa_util.Float_matrix
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation_uniform_position () =
+  (* Element 0 should land roughly uniformly across positions. *)
+  let rng = Rng.create 11 in
+  let n = 5 and trials = 5000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to trials do
+    let p = Rng.permutation rng n in
+    let pos = ref 0 in
+    Array.iteri (fun i v -> if v = 0 then pos := i) p;
+    counts.(!pos) <- counts.(!pos) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int trials in
+      Alcotest.(check bool) "roughly uniform" true (Float.abs (freq -. 0.2) < 0.03))
+    counts
+
+let test_normal_moments () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.normal rng ~mu:2.0 ~sigma:0.5) in
+  Alcotest.(check bool) "mean" true (Float.abs (Stats.mean xs -. 2.0) < 0.02);
+  Alcotest.(check bool) "std" true (Float.abs (Stats.std xs -. 0.5) < 0.02)
+
+let test_normal_clamped () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let x = Rng.normal_clamped rng ~mu:0.01 ~sigma:0.005 ~lo:1e-4 ~hi:0.5 in
+    Alcotest.(check bool) "clamped" true (x >= 1e-4 && x <= 0.5)
+  done
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 19 in
+  let xs = Rng.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "count" 10 (List.length xs);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare xs));
+  List.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 30)) xs;
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement rng 5 3))
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.0);
+    Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.0)
+  done
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]);
+  check_float "median odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  check_float "std" (sqrt 1.25) (Stats.std [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "sum" 10.0 (Stats.sum [ 1.0; 2.0; 3.0; 4.0 ]);
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi;
+  check_float "ratio" 0.5 (Stats.ratio 1.0 2.0);
+  Alcotest.(check bool) "ratio by zero" true (Float.is_nan (Stats.ratio 1.0 0.0));
+  check_float "pct change" 50.0 (Stats.percent_change ~from:2.0 ~to_:3.0);
+  check_float "geomean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  check_float "mean of int" 2.0 (Stats.mean_of_int [ 1; 2; 3 ])
+
+let test_stats_empty () =
+  Alcotest.(check bool) "mean []" true (Float.is_nan (Stats.mean []));
+  Alcotest.(check bool) "std []" true (Float.is_nan (Stats.std []));
+  Alcotest.(check bool) "median []" true (Float.is_nan (Stats.median []))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "x" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_float_row t "b" [ 2.5 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "|");
+  Alcotest.(check bool) "contains b row" true
+    (List.exists
+       (fun line -> String.length line > 2 && String.sub line 2 1 = "b")
+       (String.split_on_char '\n' s))
+
+let test_table_row_checks () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "1"; "2"; "3" ]);
+  Table.add_row t [ "only" ];
+  Alcotest.(check bool) "padded ok" true (String.length (Table.render t) > 0)
+
+let test_float_cell () =
+  Alcotest.(check string) "nan" "-" (Table.float_cell Float.nan);
+  Alcotest.(check string) "fixed" "1.50" (Table.float_cell ~decimals:2 1.5)
+
+(* --- Float_matrix --- *)
+
+let test_floyd_warshall_known () =
+  (* path graph 0-1-2-3 as weight matrix *)
+  let inf = Float.infinity in
+  let w =
+    Float_matrix.init 4 (fun i j ->
+        if i = j then 0.0 else if abs (i - j) = 1 then 1.0 else inf)
+  in
+  let d = Float_matrix.floyd_warshall w in
+  check_float "d(0,3)" 3.0 (Float_matrix.get d 0 3);
+  check_float "d(1,3)" 2.0 (Float_matrix.get d 1 3);
+  check_float "d(2,2)" 0.0 (Float_matrix.get d 2 2);
+  Alcotest.(check bool) "symmetric" true (Float_matrix.is_symmetric d);
+  (* the input must be untouched *)
+  check_float "input intact" inf (Float_matrix.get w 0 3)
+
+let test_floyd_warshall_weighted () =
+  (* triangle with a shortcut: 0-1 (1.0), 1-2 (1.0), 0-2 (5.0) *)
+  let inf = Float.infinity in
+  let w = Float_matrix.create 3 inf in
+  for i = 0 to 2 do
+    Float_matrix.set w i i 0.0
+  done;
+  List.iter
+    (fun (i, j, x) ->
+      Float_matrix.set w i j x;
+      Float_matrix.set w j i x)
+    [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 5.0) ];
+  let d = Float_matrix.floyd_warshall w in
+  check_float "shortcut found" 2.0 (Float_matrix.get d 0 2)
+
+let test_floyd_warshall_disconnected () =
+  let inf = Float.infinity in
+  let w =
+    Float_matrix.init 3 (fun i j -> if i = j then 0.0 else inf)
+  in
+  let d = Float_matrix.floyd_warshall w in
+  check_float "disconnected stays inf" inf (Float_matrix.get d 0 2)
+
+(* QCheck: Floyd-Warshall output satisfies the triangle inequality. *)
+let prop_fw_triangle =
+  QCheck.Test.make ~name:"floyd_warshall triangle inequality" ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inf = Float.infinity in
+      let w =
+        Float_matrix.init n (fun i j ->
+            if i = j then 0.0
+            else if Rng.bernoulli rng 0.5 then 0.1 +. Rng.float rng 5.0
+            else inf)
+      in
+      (* symmetrize *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          Float_matrix.set w j i (Float_matrix.get w i j)
+        done
+      done;
+      let d = Float_matrix.floyd_warshall w in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            let dij = Float_matrix.get d i j
+            and dik = Float_matrix.get d i k
+            and dkj = Float_matrix.get d k j in
+            if dik +. dkj < dij -. 1e-9 then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed changes stream", `Quick, test_rng_seed_changes_stream);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("shuffle is permutation", `Quick, test_shuffle_is_permutation);
+    ("permutation uniform", `Slow, test_permutation_uniform_position);
+    ("normal moments", `Slow, test_normal_moments);
+    ("normal clamped", `Quick, test_normal_clamped);
+    ("sample without replacement", `Quick, test_sample_without_replacement);
+    ("bernoulli extremes", `Quick, test_bernoulli_extremes);
+    ("stats basics", `Quick, test_stats_basic);
+    ("stats empty", `Quick, test_stats_empty);
+    ("table render", `Quick, test_table_render);
+    ("table row checks", `Quick, test_table_row_checks);
+    ("float cell", `Quick, test_float_cell);
+    ("floyd-warshall path", `Quick, test_floyd_warshall_known);
+    ("floyd-warshall weighted", `Quick, test_floyd_warshall_weighted);
+    ("floyd-warshall disconnected", `Quick, test_floyd_warshall_disconnected);
+    QCheck_alcotest.to_alcotest prop_fw_triangle;
+  ]
