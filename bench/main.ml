@@ -86,17 +86,51 @@ let run_bechamel () =
           | Some (x :: _) -> x
           | _ -> Float.nan
         in
-        (name, ns) :: acc)
+        (name, ns, Analyze.OLS.r_square ols) :: acc)
       results []
     |> List.sort compare
   in
   print_endline "\n=== Bechamel: per-compile wall time (monotonic clock) ===";
   let t = Qaoa_util.Table.create [ "kernel"; "time/compile (ms)" ] in
   List.iter
-    (fun (name, ns) ->
+    (fun (name, ns, _) ->
       Qaoa_util.Table.add_float_row t name [ ns /. 1e6 ])
     rows;
-  Qaoa_util.Table.print t
+  Qaoa_util.Table.print t;
+  rows
+
+(* Machine-readable kernel timings next to the console table, so future
+   changes have a perf trajectory to diff against. *)
+let write_bench_json ~dir ~scale rows =
+  let module Json = Qaoa_obs.Json in
+  let kernel_json (name, ns, r2) =
+    ( name,
+      Json.Assoc
+        (("ns_per_run", Json.Float ns)
+        :: ("ms_per_run", Json.Float (ns /. 1e6))
+        ::
+        (match r2 with
+        | Some r2 -> [ ("r_square", Json.Float r2) ]
+        | None -> [])) )
+  in
+  let doc =
+    Json.Assoc
+      [
+        ("schema_version", Json.Int 1);
+        ("scale", Json.String (Figures.scale_name scale));
+        ("clock", Json.String "bechamel monotonic_clock, OLS vs run count");
+        ("unit", Json.String "ns/run");
+        ("kernels", Json.Assoc (List.map kernel_json rows));
+      ]
+  in
+  let path = Filename.concat dir "BENCH_results.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc doc;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 let () =
   let scale = Figures.scale_from_env () in
@@ -138,4 +172,5 @@ let () =
     ~path:(Filename.concat dir "report.md")
     ~scale sections;
   Printf.printf "wrote %s/report.md\n" dir;
-  run_bechamel ()
+  let rows = run_bechamel () in
+  write_bench_json ~dir ~scale rows

@@ -15,6 +15,7 @@ module Topologies = Qaoa_hardware.Topologies
 module Device = Qaoa_hardware.Device
 module Generators = Qaoa_graph.Generators
 module Rng = Qaoa_util.Rng
+module Obs_config = Qaoa_obs.Config
 open Cmdliner
 
 type kind = Er of float | Regular of int
@@ -59,7 +60,11 @@ let device_conv =
                ^ String.concat ", " Topologies.known_names))),
       fun ppf (d : Device.t) -> Format.pp_print_string ppf d.Device.name )
 
-let run device strategy nodes kind seed p gamma beta packing_limit qasm =
+let run device strategy nodes kind seed p gamma beta packing_limit qasm trace
+    trace_out =
+  (match trace with
+  | Some sink -> Obs_config.set ?out:trace_out (Some sink)
+  | None -> ());
   let rng = Rng.create seed in
   let graph =
     match kind with
@@ -92,7 +97,17 @@ let run device strategy nodes kind seed p gamma beta packing_limit qasm =
     result.Compile.metrics.Metrics.gate_count
     result.Compile.metrics.Metrics.two_qubit_count;
   Printf.printf "swaps:     %d\n" result.Compile.swap_count;
-  Printf.printf "time:      %.4f s\n" result.Compile.compile_time;
+  Printf.printf "time:      %.4f s CPU (%.4f s wall)\n"
+    result.Compile.compile_cpu_s result.Compile.compile_wall_s;
+  Printf.printf "phases:    %s\n"
+    (String.concat " | "
+       (List.map
+          (fun pt ->
+            Printf.sprintf "%s %.2f ms (%.0f%%)" pt.Compile.phase
+              (1e3 *. pt.Compile.wall_s)
+              (100.0 *. pt.Compile.wall_s
+              /. Float.max 1e-12 result.Compile.compile_wall_s))
+          result.Compile.phase_times));
   (match device.Device.calibration with
   | Some _ ->
     Printf.printf "success:   %.3e\n" (Compile.success_probability device result)
@@ -144,10 +159,38 @@ let cmd =
   let qasm =
     Arg.(value & flag & info [ "qasm" ] ~doc:"Print the compiled OpenQASM 2.0.")
   in
+  let trace =
+    let sink_conv =
+      Arg.conv
+        ( (fun s ->
+            match Obs_config.sink_of_string s with
+            | Some sink -> Ok sink
+            | None -> Error (`Msg "expected report | jsonl | chrome")),
+          fun ppf s -> Format.pp_print_string ppf (Obs_config.sink_name s) )
+    in
+    Arg.(
+      value
+      & opt (some sink_conv) None
+      & info [ "trace" ] ~docv:"SINK"
+          ~doc:
+            "Enable compiler telemetry: report (span tree on stderr), \
+             jsonl, or chrome (trace_event JSON for chrome://tracing / \
+             Perfetto). Equivalent to setting $(b,QAOA_TRACE).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "Output path for jsonl/chrome traces (default \
+             qaoa_trace.jsonl / qaoa_trace.json; equivalent to \
+             $(b,QAOA_TRACE_FILE)).")
+  in
   let term =
     Term.(
       const run $ device $ strategy $ nodes $ kind $ seed $ p $ gamma $ beta
-      $ packing_limit $ qasm)
+      $ packing_limit $ qasm $ trace $ trace_out)
   in
   Cmd.v
     (Cmd.info "qaoa-compile" ~version:"1.0.0"

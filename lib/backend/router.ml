@@ -6,6 +6,8 @@ module Profile = Qaoa_hardware.Profile
 module Paths = Qaoa_graph.Paths
 module Float_matrix = Qaoa_util.Float_matrix
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 type config = {
   lookahead_weight : float;
@@ -70,7 +72,8 @@ let gate_satisfied st g =
 let emit_swap st p q =
   st.out <- Circuit.append st.out (Gate.Swap (p, q));
   st.mapping <- Mapping.swap_physical st.mapping p q;
-  st.swaps <- st.swaps + 1
+  st.swaps <- st.swaps + 1;
+  Metrics_registry.incr "router.swaps_inserted"
 
 let emit_gate st g =
   st.out <- Circuit.append st.out (Gate.map_qubits (Mapping.phys st.mapping) g)
@@ -120,6 +123,9 @@ let walk_step st pending_pairs =
    order within the layer is irrelevant to semantics, and the ASAP
    re-layering of the result recovers the parallelism. *)
 let process_layer config st layer lookahead_pairs =
+  if Qaoa_obs.Config.enabled () then
+    Metrics_registry.observe "router.layer_size"
+      (float_of_int (List.length layer));
   (* 1-qubit gates (and measures/barriers) can go out immediately. *)
   let one_qubit, pending = List.partition (fun g -> pair_of_gate g = None) layer in
   List.iter (emit_gate st) one_qubit;
@@ -150,8 +156,12 @@ let process_layer config st layer lookahead_pairs =
           else None)
         (candidate_swaps st pairs)
     in
+    Metrics_registry.incr "router.lookahead_candidates_scored"
+      ~by:(List.length scored);
     (match scored with
-    | [] -> walk_step st pairs
+    | [] ->
+      Metrics_registry.incr "router.walk_steps";
+      walk_step st pairs
     | _ ->
       let score (_, p, l) = p +. (config.lookahead_weight *. l) in
       let best =
@@ -192,6 +202,14 @@ let check_allocation device mapping num_logical =
 let route_layers ?(config = default_config) ~device ~initial ~num_logical
     layers =
   check_allocation device initial num_logical;
+  Trace.with_span "backend.router.route_layers"
+    ~attrs:
+      [
+        ("layers", Trace.int (List.length layers));
+        ("num_logical", Trace.int num_logical);
+        ("reliability_aware", Trace.bool config.reliability_aware);
+      ]
+  @@ fun () ->
   let dist =
     if config.reliability_aware && Option.is_some device.Device.calibration
     then Profile.weighted_distances device

@@ -5,6 +5,8 @@ module Profile = Qaoa_hardware.Profile
 module Paths = Qaoa_graph.Paths
 module Float_matrix = Qaoa_util.Float_matrix
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 type config = {
   extended_window : int;
@@ -99,6 +101,7 @@ let emit_swap st p q =
   st.out <- Circuit.append st.out (Gate.Swap (p, q));
   st.mapping <- Mapping.swap_physical st.mapping p q;
   st.swaps <- st.swaps + 1;
+  Metrics_registry.incr "sabre.swaps_inserted";
   st.decay.(p) <- st.decay.(p) +. st.decay_increment;
   st.decay.(q) <- st.decay.(q) +. st.decay_increment
 
@@ -139,6 +142,13 @@ let route ?(config = default_config) ~device ~initial circuit =
     invalid_arg "Sabre: mapping covers fewer qubits than the circuit";
   if Mapping.num_physical initial <> Device.num_qubits device then
     invalid_arg "Sabre: mapping sized for a different device";
+  Trace.with_span "backend.sabre.route"
+    ~attrs:
+      [
+        ("gates", Trace.int (List.length (Circuit.gates circuit)));
+        ("num_logical", Trace.int (Circuit.num_qubits circuit));
+      ]
+  @@ fun () ->
   let gates = Array.of_list (Circuit.gates circuit) in
   let succs, indeg = build_dependencies gates (Circuit.num_qubits circuit) in
   let st =
@@ -204,6 +214,12 @@ let route ?(config = default_config) ~device ~initial circuit =
         let candidates =
           List.filter (fun (p, q) -> S.mem p hot || S.mem q hot) st.edges
         in
+        if Qaoa_obs.Config.enabled () then begin
+          Metrics_registry.incr "sabre.candidates_scored"
+            ~by:(List.length candidates);
+          Metrics_registry.observe "sabre.front_size"
+            (float_of_int (List.length front_pairs))
+        end;
         let nf = float_of_int (max 1 (List.length front_pairs)) in
         let ne = float_of_int (max 1 (List.length ext)) in
         let score (p, q) =

@@ -4,6 +4,8 @@ module Device = Qaoa_hardware.Device
 module Mapping = Qaoa_backend.Mapping
 module Router = Qaoa_backend.Router
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Clock = Qaoa_obs.Clock
 
 type strategy =
   | Naive
@@ -59,6 +61,8 @@ let default_options =
     qaim = Qaim.default_config;
   }
 
+type phase_time = { phase : string; wall_s : float; cpu_s : float }
+
 type result = {
   strategy : strategy;
   circuit : Circuit.t;
@@ -66,8 +70,16 @@ type result = {
   final_mapping : Mapping.t;
   swap_count : int;
   compile_time : float;
+  compile_wall_s : float;
+  compile_cpu_s : float;
+  phase_times : phase_time list;
   metrics : Metrics.t;
 }
+
+let phase_wall result name =
+  List.fold_left
+    (fun acc pt -> if pt.phase = name then acc +. pt.wall_s else acc)
+    0.0 result.phase_times
 
 let random_orders rng problem ~p =
   List.init p (fun _ -> Naive.cphase_order rng problem)
@@ -85,74 +97,92 @@ let compile ?(options = default_options) ~strategy device problem params =
     invalid_arg "Compile.compile: problem larger than device";
   let rng = Rng.create options.seed in
   let p = Ansatz.levels params in
-  let t0 = Sys.time () in
-  let initial, routed =
-    match strategy with
-    | Naive ->
-      let initial = Naive.initial_mapping rng device problem in
-      ( initial,
-        route_whole options device problem params ~initial
-          ~orders:(random_orders rng problem ~p) )
-    | Greedy_v ->
-      let initial = Greedy_mapper.greedy_v rng device problem in
-      ( initial,
-        route_whole options device problem params ~initial
-          ~orders:(random_orders rng problem ~p) )
-    | Greedy_e ->
-      let initial = Greedy_mapper.greedy_e rng device problem in
-      ( initial,
-        route_whole options device problem params ~initial
-          ~orders:(random_orders rng problem ~p) )
-    | Vqa_alloc ->
-      let initial = Vqa.initial_mapping rng device problem in
-      ( initial,
-        route_whole options device problem params ~initial
-          ~orders:(random_orders rng problem ~p) )
-    | Qaim ->
-      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
-      ( initial,
-        route_whole options device problem params ~initial
-          ~orders:(random_orders rng problem ~p) )
-    | Ip ->
-      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
-      let orders = List.init p (fun _ -> Ip.order rng problem) in
-      (initial, route_whole options device problem params ~initial ~orders)
-    | Ic packing_limit ->
-      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
-      let config =
-        { Ic.packing_limit; variation_aware = false; router = options.router }
-      in
-      ( initial,
-        Ic.compile ~config ~measure:options.measure rng device ~initial
-          problem params )
-    | Vic packing_limit ->
-      let initial = Qaim.initial_mapping ~config:options.qaim rng device problem in
-      let config =
-        { Ic.packing_limit; variation_aware = true; router = options.router }
-      in
-      ( initial,
-        Ic.compile ~config ~measure:options.measure rng device ~initial
-          problem params )
+  Trace.with_span "core.compile.compile"
+    ~attrs:
+      [
+        ("strategy", Trace.str (strategy_name strategy));
+        ("device", Trace.str device.Device.name);
+        ("num_vars", Trace.int problem.Problem.num_vars);
+        ("p", Trace.int p);
+      ]
+  @@ fun () ->
+  let w0 = Clock.wall () and c0 = Clock.cpu () in
+  (* Per-phase breakdown, recorded whether or not tracing is enabled;
+     when it is, each phase is also a span under the compile root. *)
+  let phases = ref [] in
+  let timed phase f =
+    let v, wall_s, cpu_s = Trace.timed ("core.compile." ^ phase) f in
+    phases := { phase; wall_s; cpu_s } :: !phases;
+    v
+  in
+  (* The RNG draw order below (mapping, then ordering, then routing)
+     matches the pre-phase-breakdown code path, keeping every seeded
+     result bit-identical. *)
+  let initial =
+    timed "mapping" (fun () ->
+        match strategy with
+        | Naive -> Naive.initial_mapping rng device problem
+        | Greedy_v -> Greedy_mapper.greedy_v rng device problem
+        | Greedy_e -> Greedy_mapper.greedy_e rng device problem
+        | Vqa_alloc -> Vqa.initial_mapping rng device problem
+        | Qaim | Ip | Ic _ | Vic _ ->
+          Qaim.initial_mapping ~config:options.qaim rng device problem)
+  in
+  let orders =
+    timed "ordering" (fun () ->
+        match strategy with
+        | Naive | Greedy_v | Greedy_e | Vqa_alloc | Qaim ->
+          Some (random_orders rng problem ~p)
+        | Ip -> Some (List.init p (fun _ -> Ip.order rng problem))
+        | Ic _ | Vic _ ->
+          (* IC/VIC interleave ordering with routing: layer formation
+             happens against the live mapping inside [Ic.compile]. *)
+          None)
   in
   let routed =
-    if options.peephole then
-      {
-        routed with
-        Router.circuit =
-          Qaoa_circuit.Optimize.circuit
-            (Qaoa_circuit.Decompose.circuit routed.Router.circuit);
-      }
-    else routed
+    timed "routing" (fun () ->
+        match (strategy, orders) with
+        | _, Some orders ->
+          route_whole options device problem params ~initial ~orders
+        | (Ic packing_limit | Vic packing_limit), None ->
+          let config =
+            {
+              Ic.packing_limit;
+              variation_aware = (match strategy with Vic _ -> true | _ -> false);
+              router = options.router;
+            }
+          in
+          Ic.compile ~config ~measure:options.measure rng device ~initial
+            problem params
+        | _, None -> assert false)
   in
-  let compile_time = Sys.time () -. t0 in
+  let routed =
+    timed "decomposition" (fun () ->
+        if options.peephole then
+          {
+            routed with
+            Router.circuit =
+              Qaoa_circuit.Optimize.circuit
+                (Qaoa_circuit.Decompose.circuit routed.Router.circuit);
+          }
+        else routed)
+  in
+  let metrics =
+    timed "metrics" (fun () -> Metrics.of_circuit routed.Router.circuit)
+  in
+  let compile_wall_s = Clock.wall () -. w0 in
+  let compile_cpu_s = Clock.cpu () -. c0 in
   {
     strategy;
     circuit = routed.Router.circuit;
     initial_mapping = initial;
     final_mapping = routed.Router.final_mapping;
     swap_count = routed.Router.swap_count;
-    compile_time;
-    metrics = Metrics.of_circuit routed.Router.circuit;
+    compile_time = compile_cpu_s;
+    compile_wall_s;
+    compile_cpu_s;
+    phase_times = List.rev !phases;
+    metrics;
   }
 
 let success_probability ?include_readout device result =

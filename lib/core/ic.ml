@@ -6,6 +6,8 @@ module Router = Qaoa_backend.Router
 module Stitcher = Qaoa_backend.Stitcher
 module Float_matrix = Qaoa_util.Float_matrix
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 type config = {
   packing_limit : int option;
@@ -50,6 +52,17 @@ let form_layer ?packing_limit rng ~dist ~phys remaining =
 
 let compile ?(config = default_config) ?(measure = true) rng device ~initial
     problem params =
+  Trace.with_span "core.ic.compile"
+    ~attrs:
+      [
+        ("num_vars", Trace.int problem.Problem.num_vars);
+        ("variation_aware", Trace.bool config.variation_aware);
+        ( "packing_limit",
+          match config.packing_limit with
+          | Some l -> Trace.int l
+          | None -> Trace.str "none" );
+      ]
+  @@ fun () ->
   let num_logical = problem.Problem.num_vars in
   let dist = Profile.distance_matrix ~variation_aware:config.variation_aware device in
   (* VIC's variation awareness extends to SWAP insertion: the backend
@@ -67,6 +80,7 @@ let compile ?(config = default_config) ?(measure = true) rng device ~initial
   let mapping = ref initial in
   let partials = ref [] in
   let route_partial layers =
+    Metrics_registry.incr "ic.route_partials";
     let r =
       Router.route_layers ~config:config.router ~device ~initial:!mapping
         ~num_logical layers
@@ -84,6 +98,11 @@ let compile ?(config = default_config) ?(measure = true) rng device ~initial
           form_layer ?packing_limit:config.packing_limit rng ~dist
             ~phys:(Mapping.phys !mapping) remaining
         in
+        if Qaoa_obs.Config.enabled () then begin
+          Metrics_registry.incr "ic.layers_formed";
+          Metrics_registry.observe "ic.layer_size"
+            (float_of_int (List.length layer))
+        end;
         route_partial
           [ List.map (Ansatz.cphase_gate problem ~gamma) layer ];
         cost_layers rest

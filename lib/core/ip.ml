@@ -1,4 +1,6 @@
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 let rank problem =
   let ops = Problem.ops_per_qubit problem in
@@ -61,14 +63,25 @@ let pack_layers ?packing_limit rng problem =
   (match packing_limit with
   | Some l when l < 1 -> invalid_arg "Ip.pack_layers: packing limit < 1"
   | _ -> ());
+  Trace.with_span "core.ip.pack_layers"
+    ~attrs:
+      [ ("pairs", Trace.int (List.length (Problem.cphase_pairs problem))) ]
+  @@ fun () ->
   let rank_of = rank problem in
   let num_vars = problem.Problem.num_vars in
   let rec rounds pairs acc =
     match pairs with
     | [] -> List.concat (List.rev acc)
     | _ ->
+      Metrics_registry.incr "ip.pack_rounds";
       let sorted = sort_by_rank_desc rng rank_of pairs in
       let formed, unassigned = pack_round ?packing_limit num_vars sorted in
+      if Qaoa_obs.Config.enabled () then
+        List.iter
+          (fun layer ->
+            Metrics_registry.observe "ip.layer_size"
+              (float_of_int (List.length layer)))
+          formed;
       (* [pack_round] always places at least the first gate of a non-empty
          round, so this terminates. *)
       rounds unassigned (formed :: acc)

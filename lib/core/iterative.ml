@@ -13,6 +13,8 @@ type result = {
   rounds : int;
   improvements : int;
   total_time : float;
+  total_wall_s : float;
+  total_cpu_s : float;
 }
 
 (* Lower is better for every objective (success probability negated). *)
@@ -26,6 +28,14 @@ let compile ?(patience = 5) ?(max_rounds = 50) ?(objective = Depth)
     ?(base = Compile.default_options) ~strategy device problem params =
   if patience < 1 || max_rounds < 1 then
     invalid_arg "Iterative.compile: patience and max_rounds must be >= 1";
+  Qaoa_obs.Trace.with_span "core.iterative.compile"
+    ~attrs:
+      [
+        ("strategy", Qaoa_obs.Trace.str (Compile.strategy_name strategy));
+        ("objective", Qaoa_obs.Trace.str (objective_name objective));
+      ]
+  @@ fun () ->
+  let w0 = Qaoa_obs.Clock.wall () in
   let t0 = Sys.time () in
   let compile_round i =
     Compile.compile
@@ -50,9 +60,12 @@ let compile ?(patience = 5) ?(max_rounds = 50) ?(objective = Depth)
     end
     else incr stale
   done;
+  let total_cpu_s = Sys.time () -. t0 in
   {
     best = !best;
     rounds = !rounds;
     improvements = !improvements;
-    total_time = Sys.time () -. t0;
+    total_time = total_cpu_s;
+    total_wall_s = Qaoa_obs.Clock.wall () -. w0;
+    total_cpu_s;
   }

@@ -16,7 +16,11 @@ type result = {
   best : Compile.result;
   rounds : int;  (** compilations performed *)
   improvements : int;  (** rounds that improved the objective *)
-  total_time : float;  (** CPU seconds across all rounds *)
+  total_time : float;
+      (** CPU seconds across all rounds (alias of [total_cpu_s], kept
+          for existing consumers) *)
+  total_wall_s : float;  (** wall-clock seconds across all rounds *)
+  total_cpu_s : float;  (** CPU seconds across all rounds *)
 }
 
 val compile :

@@ -4,6 +4,8 @@ module Profile = Qaoa_hardware.Profile
 module Mapping = Qaoa_backend.Mapping
 module Float_matrix = Qaoa_util.Float_matrix
 module Rng = Qaoa_util.Rng
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 type config = { strength_order : int; weighted_by_ops : bool }
 
@@ -31,6 +33,9 @@ let initial_mapping ?(config = default_config) rng device problem =
   let num_physical = Device.num_qubits device in
   if n > num_physical then
     invalid_arg "Qaim.initial_mapping: problem larger than device";
+  Trace.with_span "core.qaim.initial_mapping"
+    ~attrs:[ ("num_vars", Trace.int n); ("num_physical", Trace.int num_physical) ]
+  @@ fun () ->
   let strength =
     Profile.connectivity_profile ~order:config.strength_order device
   in
@@ -55,6 +60,7 @@ let initial_mapping ?(config = default_config) rng device problem =
     argmax_random rng (fun p -> float_of_int strength.(p)) cands
   in
   let place l p =
+    Metrics_registry.incr "qaim.placements";
     l2p.(l) <- p;
     Hashtbl.replace allocated p ()
   in
@@ -98,6 +104,8 @@ let initial_mapping ?(config = default_config) rng device problem =
         let metric p =
           float_of_int strength.(p) /. Float.max 1e-9 (cumulative_distance p)
         in
+        Metrics_registry.incr "qaim.candidates_scored"
+          ~by:(List.length candidates);
         place l (argmax_random rng metric candidates)
       end)
     order;

@@ -10,6 +10,7 @@ type aggregate = {
   mean_cx : float;
   mean_swaps : float;
   mean_time : float;
+  mean_wall_time : float;
   mean_success : float option;
   instances : int;
 }
@@ -19,6 +20,15 @@ let run ?(base_seed = 1000) ?(options = Compile.default_options) ~device
   let calibrated = Option.is_some device.Device.calibration in
   List.map
     (fun strategy ->
+      Qaoa_obs.Trace.with_span "experiments.runner.strategy"
+        ~attrs:
+          [
+            ( "strategy",
+              Qaoa_obs.Trace.str (Compile.strategy_name strategy) );
+            ("instances", Qaoa_obs.Trace.int (List.length problems));
+            ("device", Qaoa_obs.Trace.str device.Device.name);
+          ]
+      @@ fun () ->
       let results =
         List.mapi
           (fun i problem ->
@@ -38,6 +48,7 @@ let run ?(base_seed = 1000) ?(options = Compile.default_options) ~device
               float_of_int r.Compile.metrics.Metrics.two_qubit_count);
         mean_swaps = fmean (fun r -> float_of_int r.Compile.swap_count);
         mean_time = fmean (fun r -> r.Compile.compile_time);
+        mean_wall_time = fmean (fun r -> r.Compile.compile_wall_s);
         mean_success =
           (if calibrated then
              Some (fmean (Compile.success_probability device))

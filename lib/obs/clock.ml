@@ -1,0 +1,2 @@
+let wall = Unix.gettimeofday
+let cpu = Sys.time

@@ -1,0 +1,9 @@
+(** The two clocks the telemetry layer distinguishes everywhere:
+    wall-clock (what a user waits for) and CPU time (what the paper's
+    compile-time figures report). *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch ([Unix.gettimeofday]). *)
+
+val cpu : unit -> float
+(** Processor seconds used by this process ([Sys.time]). *)

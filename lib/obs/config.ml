@@ -1,0 +1,41 @@
+type sink = Report | Jsonl | Chrome
+
+let sink_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "report" | "tree" -> Some Report
+  | "jsonl" | "json-lines" -> Some Jsonl
+  | "chrome" | "trace" | "perfetto" -> Some Chrome
+  | _ -> None
+
+let sink_name = function
+  | Report -> "report"
+  | Jsonl -> "jsonl"
+  | Chrome -> "chrome"
+
+let enabled_flag = ref false
+let current_sink : sink option ref = ref None
+let current_out : string option ref = ref None
+let epoch = Unix.gettimeofday ()
+
+let set ?out sink =
+  current_sink := sink;
+  (match out with Some _ -> current_out := out | None -> ());
+  enabled_flag := Option.is_some sink
+
+let enabled () = !enabled_flag
+let sink () = !current_sink
+let out_path () = !current_out
+
+(* Environment-driven setup at module load: QAOA_TRACE selects the sink,
+   QAOA_TRACE_FILE the output path.  An unrecognized value is reported
+   once on stderr rather than silently ignored. *)
+let () =
+  match Sys.getenv_opt "QAOA_TRACE" with
+  | None | Some "" -> ()
+  | Some v -> (
+    match sink_of_string v with
+    | Some s -> set ?out:(Sys.getenv_opt "QAOA_TRACE_FILE") (Some s)
+    | None ->
+      Printf.eprintf
+        "qaoa_obs: ignoring QAOA_TRACE=%s (expected report|jsonl|chrome)\n%!"
+        v)

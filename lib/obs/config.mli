@@ -1,0 +1,39 @@
+(** Global on/off switch and export-sink selection for the observability
+    layer.
+
+    Tracing is configured once per process, either from the environment
+    ([QAOA_TRACE=report|jsonl|chrome], optional [QAOA_TRACE_FILE=path])
+    or programmatically via {!set} (e.g. from a [--trace] CLI flag).
+    Every instrumentation call site guards on {!enabled}, a single
+    [bool ref] dereference, so the disabled path costs a few nanoseconds
+    and allocates nothing. *)
+
+type sink =
+  | Report  (** human-readable aggregated span tree, written to stderr *)
+  | Jsonl  (** one JSON object per span/counter/histogram, one per line *)
+  | Chrome
+      (** Chrome [trace_event] JSON, loadable in [chrome://tracing] or
+          {{:https://ui.perfetto.dev}Perfetto} *)
+
+val sink_of_string : string -> sink option
+(** ["report" | "jsonl" | "chrome"] (case-insensitive). *)
+
+val sink_name : sink -> string
+
+val set : ?out:string -> sink option -> unit
+(** [set (Some sink)] enables tracing with the given export sink;
+    [set None] disables tracing (recorded data stays until
+    [Trace.reset]). [?out] overrides the export path for file sinks
+    (default ["qaoa_trace.jsonl"] / ["qaoa_trace.json"], or
+    [QAOA_TRACE_FILE]). *)
+
+val enabled : unit -> bool
+(** The fast-path guard used by every instrumentation call site. *)
+
+val sink : unit -> sink option
+val out_path : unit -> string option
+(** Explicit output override, when one was given. *)
+
+val epoch : float
+(** Wall-clock process start (module load) — the zero of exported
+    trace timestamps. *)

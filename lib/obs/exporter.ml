@@ -1,0 +1,243 @@
+let attr_json : Trace.attr -> Json.t = function
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.String s -> Json.String s
+  | Trace.Bool b -> Json.Bool b
+
+let attrs_json attrs =
+  Json.Assoc (List.map (fun (k, v) -> (k, attr_json v)) attrs)
+
+(* --- report: aggregated span tree --- *)
+
+let report ppf =
+  let events = Trace.events () in
+  let by_parent : (int, Trace.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let siblings =
+        Option.value ~default:[] (Hashtbl.find_opt by_parent ev.Trace.parent)
+      in
+      Hashtbl.replace by_parent ev.Trace.parent (ev :: siblings))
+    events;
+  let children parent_ids =
+    List.concat_map
+      (fun id ->
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt by_parent id)))
+      parent_ids
+  in
+  (* Group a sibling list by name, preserving first-appearance order, so
+     repeated phases aggregate into one line per level. *)
+  let group_by_name evs =
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (ev : Trace.event) ->
+        match Hashtbl.find_opt tbl ev.Trace.name with
+        | Some group -> group := ev :: !group
+        | None ->
+          Hashtbl.replace tbl ev.Trace.name (ref [ ev ]);
+          order := ev.Trace.name :: !order)
+      evs;
+    List.rev_map
+      (fun name -> (name, List.rev !(Hashtbl.find tbl name)))
+      !order
+  in
+  let rec render indent evs =
+    List.iter
+      (fun (name, group) ->
+        let count = List.length group in
+        let wall =
+          List.fold_left (fun a (e : Trace.event) -> a +. e.Trace.dur_wall) 0.0 group
+        in
+        let cpu =
+          List.fold_left (fun a (e : Trace.event) -> a +. e.Trace.dur_cpu) 0.0 group
+        in
+        Format.fprintf ppf "  %s%-*s %6d  %10.6f  %10.6f@."
+          (String.make (2 * indent) ' ')
+          (max 1 (44 - (2 * indent)))
+          name count wall cpu;
+        render (indent + 1)
+          (children (List.map (fun (e : Trace.event) -> e.Trace.id) group)))
+      (group_by_name evs)
+  in
+  Format.fprintf ppf "== qaoa_obs report ==@.";
+  Format.fprintf ppf "spans%s (name, count, wall s, cpu s):@."
+    (match Trace.dropped_count () with
+    | 0 -> ""
+    | d -> Printf.sprintf " [%d dropped past buffer cap]" d);
+  render 0 (List.rev (Option.value ~default:[] (Hashtbl.find_opt by_parent (-1))));
+  (match Metrics_registry.counters () with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-46s %10d@." k v) cs);
+  (match Metrics_registry.histograms () with
+  | [] -> ()
+  | hs ->
+    Format.fprintf ppf
+      "histograms (name, count, mean, p50, p90, p99, max):@.";
+    List.iter
+      (fun (k, (s : Metrics_registry.summary)) ->
+        Format.fprintf ppf "  %-38s %8d %9.3f %9.3f %9.3f %9.3f %9.3f@." k
+          s.Metrics_registry.count s.Metrics_registry.mean
+          s.Metrics_registry.p50 s.Metrics_registry.p90 s.Metrics_registry.p99
+          s.Metrics_registry.max)
+      hs)
+
+let report_string () =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  report ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* --- jsonl --- *)
+
+let span_json (ev : Trace.event) =
+  Json.Assoc
+    [
+      ("type", Json.String "span");
+      ("name", Json.String ev.Trace.name);
+      ("id", Json.Int ev.Trace.id);
+      ("parent", Json.Int ev.Trace.parent);
+      ("depth", Json.Int ev.Trace.depth);
+      ("ts_s", Json.Float (ev.Trace.start_wall -. Config.epoch));
+      ("dur_wall_s", Json.Float ev.Trace.dur_wall);
+      ("dur_cpu_s", Json.Float ev.Trace.dur_cpu);
+      ("attrs", attrs_json ev.Trace.attrs);
+    ]
+
+let counter_json (name, value) =
+  Json.Assoc
+    [
+      ("type", Json.String "counter");
+      ("name", Json.String name);
+      ("value", Json.Int value);
+    ]
+
+let summary_fields (s : Metrics_registry.summary) =
+  [
+    ("count", Json.Int s.Metrics_registry.count);
+    ("sum", Json.Float s.Metrics_registry.sum);
+    ("min", Json.Float s.Metrics_registry.min);
+    ("max", Json.Float s.Metrics_registry.max);
+    ("mean", Json.Float s.Metrics_registry.mean);
+    ("p50", Json.Float s.Metrics_registry.p50);
+    ("p90", Json.Float s.Metrics_registry.p90);
+    ("p99", Json.Float s.Metrics_registry.p99);
+  ]
+
+let histogram_json (name, s) =
+  Json.Assoc
+    (("type", Json.String "histogram") :: ("name", Json.String name)
+    :: summary_fields s)
+
+let jsonl_string () =
+  let buf = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  List.iter (fun ev -> line (span_json ev)) (Trace.events ());
+  List.iter (fun c -> line (counter_json c)) (Metrics_registry.counters ());
+  List.iter (fun h -> line (histogram_json h)) (Metrics_registry.histograms ());
+  Buffer.contents buf
+
+(* --- chrome trace_event --- *)
+
+let chrome_event (ev : Trace.event) =
+  Json.Assoc
+    [
+      ("name", Json.String ev.Trace.name);
+      ("cat", Json.String "qaoa");
+      ("ph", Json.String "X");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("ts", Json.Float ((ev.Trace.start_wall -. Config.epoch) *. 1e6));
+      ("dur", Json.Float (ev.Trace.dur_wall *. 1e6));
+      ( "args",
+        attrs_json
+          (("dur_cpu_s", Trace.Float ev.Trace.dur_cpu) :: ev.Trace.attrs) );
+    ]
+
+let chrome () =
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (List.map chrome_event (Trace.events ())));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Assoc
+          [
+            ( "counters",
+              Json.Assoc
+                (List.map
+                   (fun (k, v) -> (k, Json.Int v))
+                   (Metrics_registry.counters ())) );
+            ( "histograms",
+              Json.Assoc
+                (List.map
+                   (fun (k, s) -> (k, Json.Assoc (summary_fields s)))
+                   (Metrics_registry.histograms ())) );
+            ("dropped_spans", Json.Int (Trace.dropped_count ()));
+          ] );
+    ]
+
+let chrome_string () = Json.to_string (chrome ())
+
+(* --- sink dispatch + at-exit auto flush --- *)
+
+let flushed = ref false
+
+let default_path = function
+  | Config.Jsonl -> "qaoa_trace.jsonl"
+  | Config.Chrome -> "qaoa_trace.json"
+  | Config.Report -> "qaoa_trace.txt"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write ?path () =
+  match Config.sink () with
+  | None -> ()
+  | Some sink ->
+    flushed := true;
+    let target =
+      match (path, Config.out_path ()) with
+      | Some p, _ -> Some p
+      | None, Some p -> Some p
+      | None, None -> (
+        match sink with Config.Report -> None | s -> Some (default_path s))
+    in
+    let contents =
+      match sink with
+      | Config.Report -> report_string ()
+      | Config.Jsonl -> jsonl_string ()
+      | Config.Chrome -> chrome_string ()
+    in
+    (match target with
+    | None -> prerr_string contents
+    | Some p -> (
+      (* An unwritable trace file must not abort the process (nor the
+         at-exit flush of an otherwise successful run): warn and drop. *)
+      match write_file p contents with
+      | () ->
+        Printf.eprintf "qaoa_obs: wrote %s trace to %s (%d spans%s)\n%!"
+          (Config.sink_name sink) p (Trace.span_count ())
+          (match Trace.dropped_count () with
+          | 0 -> ""
+          | d -> Printf.sprintf ", %d dropped" d)
+      | exception Sys_error msg ->
+        Printf.eprintf "qaoa_obs: cannot write trace: %s\n%!" msg))
+
+let () =
+  at_exit (fun () ->
+      if
+        (not !flushed)
+        && Config.sink () <> None
+        && (Trace.span_count () > 0
+           || Metrics_registry.counters () <> []
+           || Metrics_registry.histograms () <> [])
+      then write ())

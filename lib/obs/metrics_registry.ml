@@ -1,0 +1,89 @@
+module Stats = Qaoa_util.Stats
+
+let window = 4096
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  samples : float array;  (** ring buffer of the last [window] values *)
+}
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let hists_tbl : (string, hist) Hashtbl.t = Hashtbl.create 64
+
+let incr ?(by = 1) name =
+  if Config.enabled () then
+    match Hashtbl.find_opt counters_tbl name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace counters_tbl name (ref by)
+
+let observe name v =
+  if Config.enabled () then begin
+    let h =
+      match Hashtbl.find_opt hists_tbl name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            count = 0;
+            sum = 0.0;
+            min = Float.infinity;
+            max = Float.neg_infinity;
+            samples = Array.make window 0.0;
+          }
+        in
+        Hashtbl.replace hists_tbl name h;
+        h
+    in
+    h.samples.(h.count mod window) <- v;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v
+  end
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+  |> List.sort compare
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary_of_hist (h : hist) =
+  let n = Stdlib.min h.count window in
+  let a = Array.sub h.samples 0 n in
+  Array.sort compare a;
+  {
+    count = h.count;
+    sum = h.sum;
+    min = h.min;
+    max = h.max;
+    mean = (if h.count = 0 then Float.nan else h.sum /. float_of_int h.count);
+    p50 = Stats.percentile_sorted_array 50.0 a;
+    p90 = Stats.percentile_sorted_array 90.0 a;
+    p99 = Stats.percentile_sorted_array 99.0 a;
+  }
+
+let summary name =
+  Option.map summary_of_hist (Hashtbl.find_opt hists_tbl name)
+
+let histograms () =
+  Hashtbl.fold (fun k h acc -> (k, summary_of_hist h) :: acc) hists_tbl []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset hists_tbl

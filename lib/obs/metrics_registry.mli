@@ -1,0 +1,43 @@
+(** Process-global named counters and histograms.
+
+    Counters count discrete work items ([incr "router.swaps_inserted"]);
+    histograms record distributions ([observe "router.layer_size" 7.])
+    and summarize with percentiles via [Qaoa_util.Stats].
+
+    Like spans, recording is gated on {!Config.enabled} so disabled call
+    sites cost a [bool] dereference.  Reading ({!counter}, {!summary},
+    {!counters}, {!histograms}) always works on whatever was recorded. *)
+
+val incr : ?by:int -> string -> unit
+val observe : string -> float -> unit
+
+val counter : string -> int
+(** Current value; [0] for a name never incremented. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+type summary = {
+  count : int;  (** total observations *)
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+      (** percentiles are computed over a sliding window of the most
+          recent {!val-window} observations; [count]/[sum]/[min]/[max]/
+          [mean] are exact over all observations *)
+}
+
+val window : int
+(** Number of recent observations retained per histogram for
+    percentile estimation (4096). *)
+
+val summary : string -> summary option
+val histograms : unit -> (string * summary) list
+(** All histograms with their summaries, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop every counter and histogram. *)

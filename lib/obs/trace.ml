@@ -1,0 +1,146 @@
+type attr = Int of int | Float of float | String of string | Bool of bool
+
+let int i = Int i
+let float f = Float f
+let str s = String s
+let bool b = Bool b
+
+type event = {
+  name : string;
+  id : int;
+  parent : int;
+  depth : int;
+  start_wall : float;
+  dur_wall : float;
+  dur_cpu : float;
+  attrs : (string * attr) list;
+}
+
+type open_span = {
+  o_name : string;
+  o_id : int;
+  o_parent : int;
+  o_depth : int;
+  o_start_wall : float;
+  o_start_cpu : float;
+  mutable o_attrs : (string * attr) list;
+}
+
+let next_id = ref 0
+let stack : open_span list ref = ref []
+let events_rev : event list ref = ref []
+let num_events = ref 0
+let dropped = ref 0
+let max_events = ref 1_000_000
+
+let set_max_events n = max_events := max 0 n
+let span_count () = !num_events
+let dropped_count () = !dropped
+let current_depth () = List.length !stack
+let events () = List.rev !events_rev
+
+let reset () =
+  events_rev := [];
+  num_events := 0;
+  dropped := 0
+
+let record ev =
+  if !num_events >= !max_events then incr dropped
+  else begin
+    events_rev := ev :: !events_rev;
+    incr num_events
+  end
+
+let fresh_id () =
+  let id = !next_id in
+  incr next_id;
+  id
+
+let open_span attrs name =
+  let parent, depth =
+    match !stack with
+    | sp :: _ -> (sp.o_id, sp.o_depth + 1)
+    | [] -> (-1, 0)
+  in
+  let sp =
+    {
+      o_name = name;
+      o_id = fresh_id ();
+      o_parent = parent;
+      o_depth = depth;
+      o_start_wall = Clock.wall ();
+      o_start_cpu = Clock.cpu ();
+      o_attrs = attrs;
+    }
+  in
+  stack := sp :: !stack;
+  sp
+
+let close_span ?extra sp =
+  let dur_wall = Clock.wall () -. sp.o_start_wall in
+  let dur_cpu = Clock.cpu () -. sp.o_start_cpu in
+  (* Defensive unwind: pop down to (and including) [sp] so a call site
+     that leaked an open span cannot poison the stack forever. *)
+  let rec pop = function
+    | s :: rest -> if s == sp then rest else pop rest
+    | [] -> []
+  in
+  stack := pop !stack;
+  let attrs =
+    match extra with None -> sp.o_attrs | Some e -> e @ sp.o_attrs
+  in
+  record
+    {
+      name = sp.o_name;
+      id = sp.o_id;
+      parent = sp.o_parent;
+      depth = sp.o_depth;
+      start_wall = sp.o_start_wall;
+      dur_wall;
+      dur_cpu;
+      attrs;
+    }
+
+let with_span ?(attrs = []) name f =
+  if not (Config.enabled ()) then f ()
+  else begin
+    let sp = open_span attrs name in
+    match f () with
+    | v ->
+      close_span sp;
+      v
+    | exception e ->
+      close_span ~extra:[ ("exn", String (Printexc.to_string e)) ] sp;
+      raise e
+  end
+
+let timed ?attrs name f =
+  let w0 = Clock.wall () and c0 = Clock.cpu () in
+  let v = with_span ?attrs name f in
+  (v, Clock.wall () -. w0, Clock.cpu () -. c0)
+
+let instant ?(attrs = []) name =
+  if Config.enabled () then begin
+    let parent, depth =
+      match !stack with
+      | sp :: _ -> (sp.o_id, sp.o_depth + 1)
+      | [] -> (-1, 0)
+    in
+    record
+      {
+        name;
+        id = fresh_id ();
+        parent;
+        depth;
+        start_wall = Clock.wall ();
+        dur_wall = 0.0;
+        dur_cpu = 0.0;
+        attrs;
+      }
+  end
+
+let add_attr key value =
+  if Config.enabled () then
+    match !stack with
+    | sp :: _ -> sp.o_attrs <- (key, value) :: sp.o_attrs
+    | [] -> ()

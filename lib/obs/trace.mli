@@ -1,0 +1,72 @@
+(** Hierarchical spans with wall-clock {e and} CPU durations.
+
+    A span is opened with {!with_span}, nests via a process-global span
+    stack (the pipeline is single-domain; a domain-local stack is the
+    natural extension if that changes), unwinds correctly on exceptions
+    (the span is closed and tagged with an ["exn"] attribute), and is
+    recorded into an in-memory buffer drained by {!Exporter}.
+
+    Naming convention: [<library>.<module>.<operation>], e.g.
+    ["backend.router.route_layers"] or ["core.compile.mapping"].
+
+    When tracing is disabled ({!Config.enabled}[ () = false]),
+    {!with_span} is a single [bool] dereference plus a direct call of the
+    thunk — no allocation, no clock reads. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+val int : int -> attr
+val float : float -> attr
+val str : string -> attr
+val bool : bool -> attr
+
+type event = {
+  name : string;
+  id : int;  (** unique per process, allocation order *)
+  parent : int;  (** [id] of the enclosing span, [-1] for roots *)
+  depth : int;  (** nesting depth, [0] for roots *)
+  start_wall : float;  (** absolute wall-clock start ([Clock.wall]) *)
+  dur_wall : float;  (** wall-clock seconds *)
+  dur_cpu : float;  (** CPU seconds *)
+  attrs : (string * attr) list;
+}
+
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; when tracing is enabled, the call is
+    recorded as a span named [name] nested under the innermost open
+    span. Exceptions propagate after the span is closed and tagged with
+    an ["exn"] attribute. *)
+
+val timed : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * float * float
+(** [timed name f] is [with_span name f] that {e always} measures and
+    returns [(value, wall_seconds, cpu_seconds)], whether or not tracing
+    is enabled — the measurement substrate for always-on figures such as
+    [Compile.result.phase_times]. *)
+
+val instant : ?attrs:(string * attr) list -> string -> unit
+(** Zero-duration marker event at the current stack position. *)
+
+val add_attr : string -> attr -> unit
+(** Attach an attribute to the innermost open span (no-op when tracing
+    is disabled or no span is open). *)
+
+val events : unit -> event list
+(** Completed spans in completion order (children before their parent). *)
+
+val span_count : unit -> int
+val dropped_count : unit -> int
+(** Spans discarded after the buffer cap was hit. *)
+
+val set_max_events : int -> unit
+(** Buffer cap; default 1_000_000. Further spans are counted as dropped. *)
+
+val current_depth : unit -> int
+(** Number of currently open spans (for tests / invariant checks). *)
+
+val reset : unit -> unit
+(** Drop all recorded events and dropped counts; open spans survive
+    (they will record on close). *)

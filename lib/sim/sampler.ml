@@ -28,6 +28,10 @@ let sample rng sv =
   search cum (Rng.float rng 1.0)
 
 let sample_many rng sv ~shots =
+  Qaoa_obs.Trace.with_span "sim.sampler.sample_many"
+    ~attrs:[ ("shots", Qaoa_obs.Trace.int shots) ]
+  @@ fun () ->
+  Qaoa_obs.Metrics_registry.incr "sampler.shots" ~by:shots;
   let cum = cumulative sv in
   Array.init shots (fun _ -> search cum (Rng.float rng 1.0))
 

@@ -112,7 +112,18 @@ let apply_gate t g =
   | Gate.Swap (a, b) -> apply_swap t a b
   | Gate.Barrier | Gate.Measure _ -> ()
 
-let apply_circuit t c = List.iter (apply_gate t) (Circuit.gates c)
+let apply_circuit t c =
+  let gates = Circuit.gates c in
+  Qaoa_obs.Trace.with_span "sim.statevector.apply_circuit"
+    ~attrs:
+      [
+        ("num_qubits", Qaoa_obs.Trace.int t.n);
+        ("gates", Qaoa_obs.Trace.int (List.length gates));
+      ]
+  @@ fun () ->
+  Qaoa_obs.Metrics_registry.incr "statevector.gates_applied"
+    ~by:(List.length gates);
+  List.iter (apply_gate t) gates
 
 let of_circuit c =
   let t = create (Circuit.num_qubits c) in

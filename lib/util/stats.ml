@@ -23,6 +23,23 @@ let median = function
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
+let percentile_sorted_array p a =
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else begin
+    let p = Float.min 100.0 (Float.max 0.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let percentile p l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  percentile_sorted_array p a
+
 let min_max = function
   | [] -> invalid_arg "Stats.min_max: empty list"
   | x :: rest ->

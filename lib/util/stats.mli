@@ -13,6 +13,14 @@ val std : float list -> float
 val median : float list -> float
 (** Median (average of middle two for even length). *)
 
+val percentile : float -> float list -> float
+(** [percentile p samples] is the [p]-th percentile ([0. <= p <= 100.],
+    clamped) with linear interpolation between order statistics, so
+    [percentile 50.] agrees with {!median}.  [nan] on the empty list. *)
+
+val percentile_sorted_array : float -> float array -> float
+(** {!percentile} over an already-sorted array (no copy, no sort). *)
+
 val min_max : float list -> float * float
 (** @raise Invalid_argument on the empty list. *)
 

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "qaoa_compile"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("circuit", Test_circuit.suite);
       ("optimize+dag", Test_optimize.suite);

@@ -1,0 +1,257 @@
+(* qaoa_obs: spans (nesting, exception unwinding), counters, histograms,
+   JSONL / Chrome-trace export round-trips through the bundled JSON
+   parser, and the disabled no-op guard. *)
+
+module Config = Qaoa_obs.Config
+module Trace = Qaoa_obs.Trace
+module Metrics = Qaoa_obs.Metrics_registry
+module Exporter = Qaoa_obs.Exporter
+module Json = Qaoa_obs.Json
+
+(* Every test runs against a clean, enabled registry and leaves tracing
+   disabled so the rest of the suite (and the at-exit flush) sees the
+   default state. *)
+let with_tracing f () =
+  Config.set (Some Config.Report);
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Config.set None;
+      Trace.reset ();
+      Metrics.reset ())
+    f
+
+let test_span_nesting () =
+  let v =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "inner" (fun () -> 21) * 2)
+  in
+  Alcotest.(check int) "value threads through" 42 v;
+  Alcotest.(check int) "stack unwound" 0 (Trace.current_depth ());
+  match Trace.events () with
+  | [ inner; outer ] ->
+    (* completion order: child closes before parent *)
+    Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+    Alcotest.(check string) "outer name" "outer" outer.Trace.name;
+    Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+    Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+    Alcotest.(check int) "inner parent" outer.Trace.id inner.Trace.parent;
+    Alcotest.(check int) "outer is root" (-1) outer.Trace.parent;
+    Alcotest.(check bool) "parent covers child" true
+      (outer.Trace.dur_wall >= inner.Trace.dur_wall)
+  | evs ->
+    Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_exception_unwinding () =
+  (try
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "boom" (fun () -> failwith "exploded"))
+   with Failure _ -> ());
+  Alcotest.(check int) "stack unwound after raise" 0 (Trace.current_depth ());
+  Alcotest.(check int) "both spans recorded" 2 (Trace.span_count ());
+  let boom =
+    List.find (fun ev -> ev.Trace.name = "boom") (Trace.events ())
+  in
+  (match List.assoc_opt "exn" boom.Trace.attrs with
+  | Some (Trace.String msg) ->
+    Alcotest.(check bool) "exn attr mentions failure" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "missing exn attribute on failed span");
+  (* tracing still works after the unwind, at root depth *)
+  Trace.with_span "after" (fun () -> ());
+  let after =
+    List.find (fun ev -> ev.Trace.name = "after") (Trace.events ())
+  in
+  Alcotest.(check int) "fresh root span" (-1) after.Trace.parent
+
+let test_counters () =
+  Metrics.incr "swaps";
+  Metrics.incr "swaps" ~by:41;
+  Metrics.incr "layers";
+  Alcotest.(check int) "accumulates" 42 (Metrics.counter "swaps");
+  Alcotest.(check int) "independent" 1 (Metrics.counter "layers");
+  Alcotest.(check int) "absent is zero" 0 (Metrics.counter "nope");
+  Alcotest.(check (list (pair string int)))
+    "sorted dump"
+    [ ("layers", 1); ("swaps", 42) ]
+    (Metrics.counters ())
+
+let test_histograms () =
+  for i = 1 to 100 do
+    Metrics.observe "layer_size" (float_of_int i)
+  done;
+  match Metrics.summary "layer_size" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum" 5050.0 s.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 100.0 s.Metrics.max;
+    Alcotest.(check (float 1e-9)) "mean" 50.5 s.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "p50" 50.5 s.Metrics.p50;
+    Alcotest.(check (float 1e-6)) "p90" 90.1 s.Metrics.p90;
+    Alcotest.(check (float 1e-6)) "p99" 99.01 s.Metrics.p99
+
+let test_jsonl_roundtrip () =
+  Trace.with_span "compile" ~attrs:[ ("n", Trace.int 20) ] (fun () ->
+      Trace.with_span "route" (fun () -> ()));
+  Metrics.incr "swaps" ~by:7;
+  Metrics.observe "layer_size" 3.0;
+  let lines =
+    Exporter.jsonl_string () |> String.trim |> String.split_on_char '\n'
+  in
+  Alcotest.(check int) "2 spans + 1 counter + 1 histogram" 4
+    (List.length lines);
+  let parsed = List.map Json.of_string lines in
+  let types =
+    List.map
+      (fun j ->
+        match Json.member "type" j with
+        | Some (Json.String t) -> t
+        | _ -> Alcotest.fail "line without type")
+      parsed
+  in
+  Alcotest.(check (list string))
+    "line types"
+    [ "span"; "span"; "counter"; "histogram" ]
+    types;
+  let span_line = List.hd parsed in
+  (match Json.member "name" span_line with
+  | Some (Json.String "route") -> ()
+  | _ -> Alcotest.fail "first line should be the route span");
+  match Json.member "value" (List.nth parsed 2) with
+  | Some (Json.Int 7) -> ()
+  | _ -> Alcotest.fail "counter value lost in round-trip"
+
+let test_chrome_roundtrip () =
+  Trace.with_span "compile" (fun () ->
+      Trace.with_span "route" (fun () -> ignore (Sys.opaque_identity 1)));
+  Metrics.incr "swaps" ~by:3;
+  let doc = Json.of_string (Exporter.chrome_string ()) in
+  let evs =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents"
+  in
+  Alcotest.(check int) "one complete event per span" 2 (List.length evs);
+  List.iter
+    (fun ev ->
+      (match Json.member "ph" ev with
+      | Some (Json.String "X") -> ()
+      | _ -> Alcotest.fail "expected complete events (ph=X)");
+      match (Json.member "ts" ev, Json.member "dur" ev) with
+      | Some ts, Some dur ->
+        let ts = Option.get (Json.to_float ts) in
+        let dur = Option.get (Json.to_float dur) in
+        Alcotest.(check bool) "microsecond fields sane" true
+          (Float.is_finite ts && dur >= 0.0)
+      | _ -> Alcotest.fail "missing ts/dur")
+    evs;
+  match Json.member "otherData" doc with
+  | Some other -> (
+    match Json.member "counters" other with
+    | Some (Json.Assoc [ ("swaps", Json.Int 3) ]) -> ()
+    | _ -> Alcotest.fail "counters lost in chrome export")
+  | None -> Alcotest.fail "missing otherData"
+
+let test_disabled_noop () =
+  (* NOT wrapped in with_tracing: tracing must be off here. *)
+  Config.set None;
+  Trace.reset ();
+  Metrics.reset ();
+  let ran = ref false in
+  let v =
+    Trace.with_span "ghost" (fun () ->
+        ran := true;
+        7)
+  in
+  Metrics.incr "ghost_counter" ~by:99;
+  Metrics.observe "ghost_hist" 1.0;
+  Trace.instant "ghost_marker";
+  Alcotest.(check bool) "thunk still runs" true !ran;
+  Alcotest.(check int) "value returned" 7 v;
+  Alcotest.(check int) "no span recorded" 0 (Trace.span_count ());
+  Alcotest.(check int) "no counter recorded" 0 (Metrics.counter "ghost_counter");
+  Alcotest.(check bool) "no histogram recorded" true
+    (Metrics.summary "ghost_hist" = None);
+  (* timed still measures even when disabled *)
+  let v, wall, cpu = Trace.timed "ghost_timed" (fun () -> 13) in
+  Alcotest.(check int) "timed value" 13 v;
+  Alcotest.(check bool) "timed measures" true (wall >= 0.0 && cpu >= 0.0);
+  Alcotest.(check int) "timed records nothing" 0 (Trace.span_count ())
+
+let test_buffer_cap () =
+  Trace.set_max_events 3;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_max_events 1_000_000)
+    (fun () ->
+      for _ = 1 to 5 do
+        Trace.with_span "s" (fun () -> ())
+      done;
+      Alcotest.(check int) "capped" 3 (Trace.span_count ());
+      Alcotest.(check int) "drops counted" 2 (Trace.dropped_count ()))
+
+let test_json_parser () =
+  let v =
+    Json.Assoc
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.String "x"; Json.Assoc [] ]);
+      ]
+  in
+  Alcotest.(check bool) "round-trip" true
+    (Json.of_string (Json.to_string v) = v);
+  Alcotest.(check bool) "garbage rejected" true
+    (Json.of_string_opt "{\"unterminated\": " = None);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Json.of_string_opt "{} x" = None);
+  Alcotest.(check bool) "non-finite floats become null" true
+    (Json.to_string (Json.Float Float.nan) = "null")
+
+let test_config_parsing () =
+  Alcotest.(check bool) "report" true
+    (Config.sink_of_string "report" = Some Config.Report);
+  Alcotest.(check bool) "JSONL case-insensitive" true
+    (Config.sink_of_string "JSONL" = Some Config.Jsonl);
+  Alcotest.(check bool) "chrome" true
+    (Config.sink_of_string "chrome" = Some Config.Chrome);
+  Alcotest.(check bool) "unknown" true (Config.sink_of_string "tsv" = None)
+
+let test_report_renders () =
+  Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ()));
+  Metrics.incr "c";
+  Metrics.observe "h" 2.0;
+  let s = Exporter.report_string () in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true (contains needle))
+    [ "a"; "b"; "counters:"; "histograms" ]
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick (with_tracing test_span_nesting);
+    Alcotest.test_case "span exception unwinding" `Quick
+      (with_tracing test_span_exception_unwinding);
+    Alcotest.test_case "counters" `Quick (with_tracing test_counters);
+    Alcotest.test_case "histogram aggregation" `Quick
+      (with_tracing test_histograms);
+    Alcotest.test_case "jsonl round-trip" `Quick
+      (with_tracing test_jsonl_roundtrip);
+    Alcotest.test_case "chrome trace round-trip" `Quick
+      (with_tracing test_chrome_roundtrip);
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "span buffer cap" `Quick (with_tracing test_buffer_cap);
+    Alcotest.test_case "json parse/print round-trip" `Quick test_json_parser;
+    Alcotest.test_case "QAOA_TRACE value parsing" `Quick test_config_parsing;
+    Alcotest.test_case "report renders" `Quick (with_tracing test_report_renders);
+  ]
