@@ -226,16 +226,37 @@ let route_layers ?(config = default_config) ~device ~initial ~num_logical
       swaps = 0;
     }
   in
+  (* Measurements are held back and emitted after every layer is routed,
+     at the final mapping.  Emitting them in place is unsound: swaps
+     inserted for later (or same-layer) gates may move a logical qubit
+     after its wire was measured, making final-mapping readout
+     inconsistent with the recorded outcome.  Terminal measurement is the
+     model everywhere in this code base (circuits use [measure_all]), so
+     deferral preserves semantics. *)
+  let deferred_measures = ref [] in
+  let strip_measures layer =
+    List.filter
+      (fun g ->
+        match g with
+        | Gate.Measure q ->
+          deferred_measures := q :: !deferred_measures;
+          false
+        | _ -> true)
+      layer
+  in
   let rec process = function
     | [] -> ()
     | layer :: rest ->
       let lookahead_pairs =
         match rest with next :: _ -> two_qubit_targets next | [] -> []
       in
-      process_layer config st layer lookahead_pairs;
+      process_layer config st (strip_measures layer) lookahead_pairs;
       process rest
   in
   process layers;
+  List.iter
+    (fun q -> emit_gate st (Gate.Measure q))
+    (List.rev !deferred_measures);
   { circuit = st.out; final_mapping = st.mapping; swap_count = st.swaps }
 
 let route ?config ~device ~initial circuit =

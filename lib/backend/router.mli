@@ -20,7 +20,16 @@
     The compiled circuit acts on physical qubit indices; the result carries
     the final logical-to-physical mapping so callers can interpret
     measurement outcomes (or stitch further partial circuits - the IC/VIC
-    use case). *)
+    use case).
+
+    [Measure] gates are deferred: they are stripped from the layers and
+    re-emitted after all routing, on each logical qubit's final physical
+    wire.  Emitting them in place was unsound - a SWAP inserted for a
+    still-pending gate could move (or even re-use) an already-measured
+    wire, making final-mapping readout silently wrong; the translation
+    validator ({!Qaoa_verify.Check}) rejects such circuits.  This assumes
+    terminal measurement, which is the only mode the ansatz builders
+    produce. *)
 
 type config = {
   lookahead_weight : float;

@@ -48,6 +48,7 @@ type options = {
   seed : int;
   measure : bool;
   peephole : bool;
+  verify : bool;
   router : Router.config;
   qaim : Qaim.config;
 }
@@ -57,6 +58,7 @@ let default_options =
     seed = 42;
     measure = true;
     peephole = false;
+    verify = false;
     router = Router.default_config;
     qaim = Qaim.default_config;
   }
@@ -156,6 +158,20 @@ let compile ?(options = default_options) ~strategy device problem params =
             problem params
         | _, None -> assert false)
   in
+  (* Translation validation runs on the routed (pre-decomposition)
+     circuit: decomposition rewrites CPHASE/SWAP into basis gates, after
+     which the checker's gate accounting no longer applies.  The logical
+     reference uses the orders actually compiled when they are known;
+     IC/VIC pick their own orders, but any order of the commuting
+     cost-layer gates is the same multiset and the same state. *)
+  if options.verify then
+    timed "verify" (fun () ->
+        let logical =
+          Ansatz.circuit ~measure:options.measure ?orders problem params
+        in
+        Qaoa_verify.Check.validate_exn ~device ~initial
+          ~final:routed.Router.final_mapping
+          ~swap_count:routed.Router.swap_count ~logical routed.Router.circuit);
   let routed =
     timed "decomposition" (fun () ->
         if options.peephole then

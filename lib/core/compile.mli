@@ -31,6 +31,13 @@ type options = {
       (** run {!Qaoa_circuit.Optimize} on the decomposed compiled circuit
           (CNOT cancellation across SWAP/CPHASE lowerings; default
           false to keep the paper's metrics unassisted) *)
+  verify : bool;
+      (** run {!Qaoa_verify.Check} translation validation on the routed
+          circuit before decomposition, raising
+          {!Qaoa_verify.Check.Verification_failed} on any structural or
+          semantic discrepancy (semantic checks auto-skip past
+          {!Qaoa_verify.Check.default_max_semantic_qubits} qubits;
+          default false) *)
   router : Qaoa_backend.Router.config;
   qaim : Qaim.config;
 }
@@ -39,9 +46,10 @@ val default_options : options
 
 type phase_time = {
   phase : string;
-      (** ["mapping"], ["ordering"], ["routing"], ["decomposition"] or
-          ["metrics"]; for IC/VIC, ordering is interleaved with routing
-          inside [Ic.compile] and is accounted under ["routing"] *)
+      (** ["mapping"], ["ordering"], ["routing"], ["verify"] (only with
+          [options.verify]), ["decomposition"] or ["metrics"]; for
+          IC/VIC, ordering is interleaved with routing inside
+          [Ic.compile] and is accounted under ["routing"] *)
   wall_s : float;
   cpu_s : float;
 }
@@ -76,7 +84,9 @@ val compile :
   result
 (** Compile the p-level QAOA ansatz of the problem for the device.
     @raise Invalid_argument if the problem needs more qubits than the
-    device has, or if VIC is requested on a device without calibration. *)
+    device has, or if VIC is requested on a device without calibration.
+    @raise Qaoa_verify.Check.Verification_failed if [options.verify] is
+    set and the routed circuit fails translation validation. *)
 
 val success_probability : ?include_readout:bool -> Qaoa_hardware.Device.t -> result -> float
 (** {!Success.of_circuit} on the compiled circuit. *)

@@ -1,0 +1,79 @@
+(** Differential fuzzing of the whole compilation pipeline.
+
+    Instantiates the generic {!Qaoa_verify.Fuzz} engine with the concrete
+    sweep the paper's claims rest on: random problem graphs x compilation
+    policies x device topologies, each case compiled end-to-end and then
+    cross-checked three ways -
+
+    - {!Qaoa_verify.Check.validate}: structural + semantic translation
+      validation of the routed circuit against its logical source;
+    - metric accounting: the [Compile.result.metrics] record must agree
+      with metrics recomputed from the circuit, the recorded swap count
+      with the SWAP gates present, and the CPHASE count with the
+      problem's quadratic terms;
+    - compliance: {!Qaoa_backend.Compliance} and the verifier must agree
+      on coupling violations (both empty on a healthy compile).
+
+    Everything is seeded, so a failing case is a reproducer by value; the
+    engine additionally shrinks it toward the smallest failing graph. *)
+
+type case = {
+  seed : int;  (** drives graph generation and every compile choice *)
+  nodes : int;
+  kind : Workload.graph_kind;
+  topology : string;  (** {!Qaoa_hardware.Topologies.by_name} key *)
+  strategy : Qaoa_core.Compile.strategy;
+  p : int;  (** ansatz levels *)
+}
+
+val case_name : case -> string
+(** e.g. "seed=17 n=9 ER(p=0.3) tokyo IC p=1". *)
+
+val default_strategies : Qaoa_core.Compile.strategy list
+(** The paper's seven policies: NAIVE, GreedyV, GreedyE, QAIM, IP, IC,
+    VIC. *)
+
+val default_topologies : string list
+(** ["tokyo"; "melbourne"; "grid6x6"; "linear16"; "ring16"]. *)
+
+val device_of_topology : string -> Qaoa_hardware.Device.t
+(** Resolve a topology name, attaching a fixed-seed synthetic calibration
+    when the bundled device has none (VIC needs one).
+    @raise Invalid_argument on unknown names. *)
+
+val run_case : ?max_semantic_qubits:int -> case -> string option
+(** Compile and cross-check one case; [None] on agreement, [Some detail]
+    otherwise. *)
+
+val shrink : case -> case list
+(** Smaller-first candidates: fewer graph nodes (parity-corrected for
+    regular graphs), then a single ansatz level. *)
+
+val cases :
+  ?seed:int ->
+  ?count:int ->
+  ?topologies:string list ->
+  ?strategies:Qaoa_core.Compile.strategy list ->
+  ?kinds:Workload.graph_kind list ->
+  ?min_nodes:int ->
+  ?max_nodes:int ->
+  unit ->
+  case list
+(** [count] (default 100) seeded graph/topology instances, each expanded
+    across all [strategies] - so the default sweep yields [7 * count]
+    validations.  Node counts are drawn uniformly from
+    [[min_nodes, max_nodes]] (default [[6, 12]]). *)
+
+val fuzz :
+  ?seed:int ->
+  ?count:int ->
+  ?topologies:string list ->
+  ?strategies:Qaoa_core.Compile.strategy list ->
+  ?kinds:Workload.graph_kind list ->
+  ?min_nodes:int ->
+  ?max_nodes:int ->
+  ?max_semantic_qubits:int ->
+  unit ->
+  case Qaoa_verify.Fuzz.stats
+(** Generate {!cases} and run them through {!Qaoa_verify.Fuzz.run} with
+    {!shrink}. *)

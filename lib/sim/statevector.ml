@@ -150,6 +150,15 @@ let overlap_probability a b =
 let equal_up_to_global_phase ?(eps = 1e-9) a b =
   a.n = b.n && Float.abs (overlap_probability a b -. 1.0) < eps
 
+let distance_up_to_global_phase a b =
+  if a.n <> b.n then
+    invalid_arg "Statevector.distance_up_to_global_phase: size mismatch";
+  (* min over phi of ||a - e^{i phi} b|| = sqrt(|a|^2 + |b|^2 - 2 |<a|b>|),
+     attained when the phase aligns the overlap with the real axis. *)
+  let na = norm a and nb = norm b in
+  let ov = sqrt (overlap_probability a b) in
+  sqrt (Float.max 0.0 ((na *. na) +. (nb *. nb) -. (2.0 *. ov)))
+
 let expectation_diag t f =
   let acc = ref 0.0 in
   for i = 0 to Array.length t.re - 1 do

@@ -44,6 +44,13 @@ val overlap_probability : t -> t -> float
 
 val equal_up_to_global_phase : ?eps:float -> t -> t -> bool
 
+val distance_up_to_global_phase : t -> t -> float
+(** Phase-aligned L2 distance min_phi ||a - e^(i phi) b||: 0 for states
+    equal up to a global phase, up to 2 for orthogonal normalized states.
+    The quantitative form of {!equal_up_to_global_phase}, used by the
+    translation-validation layer to report how far a compiled circuit's
+    state drifted.  @raise Invalid_argument on size mismatch. *)
+
 val expectation_diag : t -> (int -> float) -> float
 (** Expectation of a diagonal observable given by its value on each basis
     index - the exact QAOA cost expectation. *)

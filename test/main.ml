@@ -25,5 +25,6 @@ let () =
       ("families+budget", Test_families.suite);
       ("estimator+orient", Test_estimator.suite);
       ("pipeline-fuzz", Test_pipeline.suite);
+      ("verify", Test_verify.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]
