@@ -99,9 +99,21 @@ let run_bechamel () =
   Qaoa_util.Table.print t;
   rows
 
+(* Aggregate of the fault-injection sweep: compile survival and fallback
+   behaviour across all scenarios and workloads. *)
+let resilience_summary rows =
+  let module R = Qaoa_experiments.Resilience in
+  List.fold_left
+    (fun (i, c, f, e) r ->
+      ( i + r.R.instances,
+        c + r.R.compiled,
+        f + r.R.fallback_recovered,
+        e + r.R.exhausted ))
+    (0, 0, 0, 0) rows
+
 (* Machine-readable kernel timings next to the console table, so future
    changes have a perf trajectory to diff against. *)
-let write_bench_json ~dir ~scale rows =
+let write_bench_json ~dir ~scale ~resilience rows =
   let module Json = Qaoa_obs.Json in
   let kernel_json (name, ns, r2) =
     ( name,
@@ -121,6 +133,15 @@ let write_bench_json ~dir ~scale rows =
         ("clock", Json.String "bechamel monotonic_clock, OLS vs run count");
         ("unit", Json.String "ns/run");
         ("kernels", Json.Assoc (List.map kernel_json rows));
+        ( "resilience",
+          let instances, compiled, recovered, exhausted = resilience in
+          Json.Assoc
+            [
+              ("instances", Json.Int instances);
+              ("compiled", Json.Int compiled);
+              ("fallback_recovered", Json.Int recovered);
+              ("exhausted", Json.Int exhausted);
+            ] );
       ]
   in
   let path = Filename.concat dir "BENCH_results.json" in
@@ -144,6 +165,15 @@ let () =
   let t1 = Sys.time () in
   let ablations = Qaoa_experiments.Ablations.all ~scale () in
   Printf.printf "\nablations regenerated in %.1f CPU s\n" (Sys.time () -. t1);
+  let t2 = Sys.time () in
+  let resilience =
+    resilience_summary (Qaoa_experiments.Resilience.run ~scale ())
+  in
+  (let instances, compiled, recovered, exhausted = resilience in
+   Printf.printf
+     "\nresilience sweep in %.1f CPU s: %d/%d compiled, %d recovered by \
+      fallback, %d exhausted\n"
+     (Sys.time () -. t2) compiled instances recovered exhausted);
   (* plot-ready CSVs alongside the printed tables *)
   let dir = "bench_results" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -173,4 +203,4 @@ let () =
     ~scale sections;
   Printf.printf "wrote %s/report.md\n" dir;
   let rows = run_bechamel () in
-  write_bench_json ~dir ~scale rows
+  write_bench_json ~dir ~scale ~resilience rows

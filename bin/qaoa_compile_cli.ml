@@ -60,8 +60,20 @@ let device_conv =
                ^ String.concat ", " Topologies.known_names))),
       fun ppf (d : Device.t) -> Format.pp_print_string ppf d.Device.name )
 
+(* Malformed input or a structured compile failure is a one-line
+   diagnostic and exit 2, never a backtrace. *)
+let guard f =
+  try f () with
+  | Compile.Error e ->
+    Printf.eprintf "qaoa-compile: %s\n" (Compile.error_to_string e);
+    2
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "qaoa-compile: %s\n" msg;
+    2
+
 let run device strategy nodes kind seed p gamma beta packing_limit qasm trace
     trace_out =
+  guard @@ fun () ->
   (match trace with
   | Some sink -> Obs_config.set ?out:trace_out (Some sink)
   | None -> ());
@@ -197,4 +209,4 @@ let cmd =
        ~doc:"Compile QAOA-MaxCut circuits with QAIM/IP/IC/VIC (MICRO'20)")
     term
 
-let () = exit (Cmd.eval' cmd)
+let () = exit (Cmd.eval' ~term_err:2 cmd)

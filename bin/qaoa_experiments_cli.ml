@@ -48,10 +48,19 @@ let scale_conv =
       fun ppf s -> Format.pp_print_string ppf (Figures.scale_name s) )
 
 let run figure scale =
-  (match figure with
-  | `All -> ignore (Figures.all ~scale ())
-  | `One f -> f ~scale);
-  0
+  try
+    (match figure with
+    | `All -> ignore (Figures.all ~scale ())
+    | `One f -> f ~scale);
+    0
+  with
+  | Qaoa_core.Compile.Error e ->
+    Printf.eprintf "qaoa-experiments: %s\n"
+      (Qaoa_core.Compile.error_to_string e);
+    2
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "qaoa-experiments: %s\n" msg;
+    2
 
 let cmd =
   let figure =
@@ -73,4 +82,4 @@ let cmd =
        ~doc:"Regenerate the MICRO'20 QAOA-compilation evaluation figures")
     Term.(const run $ figure $ scale)
 
-let () = exit (Cmd.eval' cmd)
+let () = exit (Cmd.eval' ~term_err:2 cmd)

@@ -69,7 +69,19 @@ let strategy_conv =
         | None -> Error (`Msg "unknown strategy")),
       fun ppf s -> Format.pp_print_string ppf (Compile.strategy_name s) )
 
+(* Malformed input or a structured compile failure is a one-line
+   diagnostic and exit 2, never a backtrace. *)
+let guard f =
+  try f () with
+  | Compile.Error e ->
+    Printf.eprintf "qaoa-solve: %s\n" (Compile.error_to_string e);
+    2
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "qaoa-solve: %s\n" msg;
+    2
+
 let run problem_kind device strategy nodes kind seed p shots noisy =
+  guard @@ fun () ->
   let rng = Rng.create seed in
   let graph =
     match kind with
@@ -153,4 +165,4 @@ let cmd =
       const run $ problem $ device $ strategy $ nodes $ kind $ seed $ p
       $ shots $ noisy)
 
-let () = exit (Cmd.eval' cmd)
+let () = exit (Cmd.eval' ~term_err:2 cmd)

@@ -50,9 +50,22 @@ let strategy_conv =
           Error (`Msg "expected naive | greedyv | greedye | qaim | ip | ic | vic")),
       fun ppf s -> Format.pp_print_string ppf (Compile.strategy_name s) )
 
+(* Malformed input or a structured compile failure is a one-line
+   diagnostic and exit 2, never a backtrace (exit 1 is reserved for
+   genuine verification discrepancies). *)
+let guard f =
+  try f () with
+  | Compile.Error e ->
+    Printf.eprintf "qaoa-verify: %s\n" (Compile.error_to_string e);
+    2
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "qaoa-verify: %s\n" msg;
+    2
+
 (* ---------------- check ---------------- *)
 
 let run_check topology strategies all nodes kind seed p max_semantic =
+  guard @@ fun () ->
   let device = Differential.device_of_topology topology in
   let strategies =
     if all then Differential.default_strategies else strategies
@@ -128,6 +141,7 @@ let check_cmd =
 (* ---------------- fuzz ---------------- *)
 
 let run_fuzz cases_count seed topologies strategies max_nodes max_semantic =
+  guard @@ fun () ->
   let topologies =
     if topologies = [] then Differential.default_topologies else topologies
   in
@@ -194,4 +208,4 @@ let cmd =
           compilation pipeline")
     [ check_cmd; fuzz_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+let () = exit (Cmd.eval' ~term_err:2 cmd)

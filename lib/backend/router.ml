@@ -13,10 +13,18 @@ type config = {
   lookahead_weight : float;
   reliability_aware : bool;
   seed : int;
+  deadline : Qaoa_obs.Deadline.t option;
 }
 
 let default_config =
-  { lookahead_weight = 0.5; reliability_aware = false; seed = 17 }
+  {
+    lookahead_weight = 0.5;
+    reliability_aware = false;
+    seed = 17;
+    deadline = None;
+  }
+
+exception Unroutable of string
 
 type result = {
   circuit : Circuit.t;
@@ -28,11 +36,35 @@ type state = {
   device : Device.t;
   dist : Float_matrix.t;  (** scoring distances (hop or reliability-weighted) *)
   edges : (int * int) list;  (** coupling edges, computed once per route *)
+  comp : int array;  (** connected-component id per physical qubit *)
   rng : Rng.t;
   mutable mapping : Mapping.t;
   mutable out : Circuit.t;
   mutable swaps : int;
 }
+
+let component_labels device =
+  let comp = Array.make (Device.num_qubits device) (-1) in
+  List.iteri
+    (fun i vs -> List.iter (fun v -> comp.(v) <- i) vs)
+    (Paths.connected_components device.Device.coupling);
+  comp
+
+(* SWAPs only move logical qubits along coupling edges, so component
+   membership is invariant across routing: a two-qubit gate whose
+   operands sit in different components can never be satisfied.  Detect
+   it eagerly (per pending gate, once per layer) and fail with a
+   structured exception instead of walking forever or dying on a bare
+   [Not_found] from the path finder. *)
+let check_pair_routable st (a, b) =
+  let pa = Mapping.phys st.mapping a and pb = Mapping.phys st.mapping b in
+  if st.comp.(pa) <> st.comp.(pb) then
+    raise
+      (Unroutable
+         (Printf.sprintf
+            "two-qubit gate on logical (%d, %d): physical hosts %d and %d \
+             lie in disconnected components of %s"
+            a b pa pb st.device.Device.name))
 
 let pair_of_gate g =
   if Gate.is_two_qubit g then
@@ -114,7 +146,14 @@ let walk_step st pending_pairs =
        closer. *)
     match Paths.shortest_path st.device.Device.coupling pa pb with
     | x :: y :: _ :: _ -> emit_swap st x y
-    | _ -> ())
+    | _ -> ()
+    | exception Not_found ->
+      (* unreachable given [check_pair_routable], kept as a structured
+         backstop against future component-invariant violations *)
+      raise
+        (Unroutable
+           (Printf.sprintf "no path between physical %d and %d on %s" pa pb
+              st.device.Device.name)))
 
 (* Process one layer: emit every gate as soon as its qubits are coupled,
    choosing swaps that strictly decrease the summed distance of the
@@ -129,6 +168,7 @@ let process_layer config st layer lookahead_pairs =
   (* 1-qubit gates (and measures/barriers) can go out immediately. *)
   let one_qubit, pending = List.partition (fun g -> pair_of_gate g = None) layer in
   List.iter (emit_gate st) one_qubit;
+  List.iter (check_pair_routable st) (two_qubit_targets pending);
   let pending = ref pending in
   let flush () =
     let sat, rest = List.partition (gate_satisfied st) !pending in
@@ -145,6 +185,7 @@ let process_layer config st layer lookahead_pairs =
   let budget = ref (8 * n * (1 + List.length !pending)) in
   while !pending <> [] && !budget > 0 do
     decr budget;
+    Qaoa_obs.Deadline.check config.deadline;
     let pairs = two_qubit_targets !pending in
     let current = total_distance st pairs in
     let scored =
@@ -187,6 +228,7 @@ let process_layer config st layer lookahead_pairs =
       (match pair_of_gate g with
       | Some pr ->
         while not (gate_satisfied st g) do
+          Qaoa_obs.Deadline.check config.deadline;
           walk_step st [ pr ]
         done
       | None -> ());
@@ -220,6 +262,7 @@ let route_layers ?(config = default_config) ~device ~initial ~num_logical
       device;
       dist;
       edges = Device.coupling_edges device;
+      comp = component_labels device;
       rng = Rng.create config.seed;
       mapping = initial;
       out = Circuit.create (Device.num_qubits device);

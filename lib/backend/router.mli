@@ -38,9 +38,26 @@ type config = {
       (** Score swaps with the calibration-weighted distance matrix
           (VQM-style router extension; default false = hop distances). *)
   seed : int;  (** Tie-break randomness seed (default 17). *)
+  deadline : Qaoa_obs.Deadline.t option;
+      (** Cooperative cancellation: the routing loops check this once per
+          swap decision and raise {!Qaoa_obs.Deadline.Exceeded} past the
+          budget (default [None] = route to completion). *)
 }
 
 val default_config : config
+
+exception Unroutable of string
+(** A two-qubit gate's operands are mapped to disconnected components of
+    the coupling graph (e.g. after fault injection severed the only
+    bridge), so no SWAP sequence can ever satisfy it.  Raised eagerly
+    when the gate first becomes pending; the message names the logical
+    pair, the physical hosts and the device. *)
+
+val component_labels : Qaoa_hardware.Device.t -> int array
+(** Connected-component id of every physical qubit.  SWAPs move logical
+    qubits only along coupling edges, so these labels are invariant
+    across routing - the basis of the {!Unroutable} check (shared with
+    {!Sabre}). *)
 
 type result = {
   circuit : Qaoa_circuit.Circuit.t;
@@ -58,8 +75,10 @@ val route :
   result
 (** [route ~device ~initial circuit] compiles the logical [circuit].
     @raise Invalid_argument if the mapping's logical count is smaller than
-    the circuit's qubit count, or if the coupling graph cannot connect the
-    allocated qubits. *)
+    the circuit's qubit count or sized for a different device.
+    @raise Unroutable if a two-qubit gate's operands can never be brought
+    together (disconnected coupling components).
+    @raise Qaoa_obs.Deadline.Exceeded past [config.deadline]. *)
 
 val route_layers :
   ?config:config ->

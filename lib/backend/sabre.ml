@@ -14,6 +14,7 @@ type config = {
   decay_increment : float;
   decay_reset_interval : int;
   seed : int;
+  deadline : Qaoa_obs.Deadline.t option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     decay_increment = 0.001;
     decay_reset_interval = 5;
     seed = 17;
+    deadline = None;
   }
 
 type state = {
@@ -179,9 +181,21 @@ let route ?(config = default_config) ~device ~initial circuit =
         if st.indeg.(j) = 0 then front := !front @ [ j ])
       (List.rev st.succs.(i))
   in
+  let comp = Router.component_labels device in
+  let check_routable (a, b) =
+    let pa = Mapping.phys st.mapping a and pb = Mapping.phys st.mapping b in
+    if comp.(pa) <> comp.(pb) then
+      raise
+        (Router.Unroutable
+           (Printf.sprintf
+              "two-qubit gate on logical (%d, %d): physical hosts %d and %d \
+               lie in disconnected components of %s"
+              a b pa pb device.Device.name))
+  in
   let stuck = ref 0 in
   let max_stuck = 8 * Device.num_qubits device in
   while !front <> [] do
+    Qaoa_obs.Deadline.check config.deadline;
     let executable, blocked = List.partition (gate_executable st) !front in
     if executable <> [] then begin
       stuck := 0;
@@ -195,6 +209,7 @@ let route ?(config = default_config) ~device ~initial circuit =
     else begin
       incr stuck;
       let front_pairs = List.filter_map (fun i -> pair_of_gate st.gates.(i)) blocked in
+      List.iter check_routable front_pairs;
       if !stuck > max_stuck then begin
         (* safety: force progress on the closest blocked pair *)
         match front_pairs with

@@ -21,6 +21,10 @@ type config = {
   decay_increment : float;  (** per-swap decay bump (default 0.001) *)
   decay_reset_interval : int;  (** swaps between decay resets (default 5) *)
   seed : int;
+  deadline : Qaoa_obs.Deadline.t option;
+      (** Cooperative cancellation checked once per front iteration;
+          raises {!Qaoa_obs.Deadline.Exceeded} past the budget (default
+          [None]). *)
 }
 
 val default_config : config
@@ -34,4 +38,7 @@ val route :
 (** Same contract as {!Router.route}: hardware-compliant output circuit
     on physical qubits, final mapping tracked, semantics preserved up to
     the output permutation (property-tested against the statevector
-    simulator). *)
+    simulator).
+    @raise Router.Unroutable when a blocked gate's operands sit in
+    disconnected coupling components.
+    @raise Qaoa_obs.Deadline.Exceeded past [config.deadline]. *)

@@ -6,6 +6,7 @@ module Router = Qaoa_backend.Router
 module Rng = Qaoa_util.Rng
 module Trace = Qaoa_obs.Trace
 module Clock = Qaoa_obs.Clock
+module Metrics_registry = Qaoa_obs.Metrics_registry
 
 type strategy =
   | Naive
@@ -49,6 +50,7 @@ type options = {
   measure : bool;
   peephole : bool;
   verify : bool;
+  deadline_s : float option;
   router : Router.config;
   qaim : Qaim.config;
 }
@@ -59,9 +61,65 @@ let default_options =
     measure = true;
     peephole = false;
     verify = false;
+    deadline_s = None;
     router = Router.default_config;
     qaim = Qaim.default_config;
   }
+
+type error =
+  | Too_many_qubits of { needed : int; available : int }
+  | Missing_calibration of {
+      strategy : strategy;
+      coupling : (int * int) option;
+    }
+  | Unroutable of { strategy : strategy; detail : string }
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+  | Verification_rejected of { strategy : strategy; detail : string }
+  | Strategy_failed of { strategy : strategy; detail : string }
+
+let error_kind = function
+  | Too_many_qubits _ -> "too_many_qubits"
+  | Missing_calibration _ -> "missing_calibration"
+  | Unroutable _ -> "unroutable"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Verification_rejected _ -> "verification_rejected"
+  | Strategy_failed _ -> "strategy_failed"
+
+let error_to_string = function
+  | Too_many_qubits { needed; available } ->
+    Printf.sprintf "problem needs %d qubits but the device has %d" needed
+      available
+  | Missing_calibration { strategy; coupling = None } ->
+    Printf.sprintf "%s requires device calibration but none is attached"
+      (strategy_name strategy)
+  | Missing_calibration { strategy; coupling = Some (u, v) } ->
+    Printf.sprintf "%s: calibration records no rate for coupling (%d, %d)"
+      (strategy_name strategy) u v
+  | Unroutable { strategy; detail } ->
+    Printf.sprintf "%s: unroutable: %s" (strategy_name strategy) detail
+  | Deadline_exceeded { budget_s; elapsed_s } ->
+    Printf.sprintf "deadline exceeded: %.3fs elapsed of a %.3fs budget"
+      elapsed_s budget_s
+  | Verification_rejected { strategy; detail } ->
+    Printf.sprintf "%s: translation validation rejected the circuit: %s"
+      (strategy_name strategy) detail
+  | Strategy_failed { strategy; detail } ->
+    Printf.sprintf "%s failed: %s" (strategy_name strategy) detail
+
+exception Error of error
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Compile.Error: " ^ error_to_string e)
+    | _ -> None)
+
+let raise_error e =
+  Metrics_registry.incr ("compile.error." ^ error_kind e);
+  raise (Error e)
+
+let strategy_needs_calibration = function
+  | Vqa_alloc | Vic _ -> true
+  | Naive | Greedy_v | Greedy_e | Qaim | Ip | Ic _ -> false
 
 type phase_time = { phase : string; wall_s : float; cpu_s : float }
 
@@ -95,11 +153,33 @@ let route_whole options device problem params ~initial ~orders =
   Router.route ~config:options.router ~device ~initial circuit
 
 let compile ?(options = default_options) ~strategy device problem params =
-  if problem.Problem.num_vars > Device.num_qubits device then
-    invalid_arg "Compile.compile: problem larger than device";
+  let needed = problem.Problem.num_vars
+  and available = Device.num_qubits device in
+  if needed > available then
+    raise_error (Too_many_qubits { needed; available });
+  if
+    strategy_needs_calibration strategy
+    && Option.is_none device.Device.calibration
+  then raise_error (Missing_calibration { strategy; coupling = None });
+  (* A per-compile wall-clock budget is threaded into the router config,
+     whose loops (and the IC layer former, and SABRE) poll it
+     cooperatively.  The clock starts here, so mapping/ordering phases
+     that route nothing still count against the budget once routing
+     begins polling. *)
+  let options =
+    match options.deadline_s with
+    | None -> options
+    | Some budget_s ->
+      let dl = Qaoa_obs.Deadline.start ~budget_s in
+      {
+        options with
+        router = { options.router with Router.deadline = Some dl };
+      }
+  in
   let rng = Rng.create options.seed in
   let p = Ansatz.levels params in
-  Trace.with_span "core.compile.compile"
+  try
+    Trace.with_span "core.compile.compile"
     ~attrs:
       [
         ("strategy", Trace.str (strategy_name strategy));
@@ -200,6 +280,127 @@ let compile ?(options = default_options) ~strategy device problem params =
     phase_times = List.rev !phases;
     metrics;
   }
+  with
+  | Router.Unroutable detail -> raise_error (Unroutable { strategy; detail })
+  | Qaoa_obs.Deadline.Exceeded { budget_s; elapsed_s } ->
+    raise_error (Deadline_exceeded { budget_s; elapsed_s })
+  | Qaoa_verify.Check.Verification_failed r ->
+    raise_error
+      (Verification_rejected
+         { strategy; detail = Qaoa_verify.Check.report_to_string r })
+
+let compile_result ?options ~strategy device problem params =
+  match compile ?options ~strategy device problem params with
+  | r -> Ok r
+  | exception Error e -> Result.Error e
+  | exception (Invalid_argument detail | Failure detail) ->
+    (* Residual ad-hoc failures from strategy internals (e.g. a mapper
+       hitting an uncalibrated edge through a path the pre-checks do not
+       cover) degrade to a structured error instead of escaping. *)
+    let e = Strategy_failed { strategy; detail } in
+    Metrics_registry.incr ("compile.error." ^ error_kind e);
+    Result.Error e
+
+let default_chain = [ Vic None; Ic None; Ip; Qaim; Greedy_e; Naive ]
+
+type attempt = {
+  attempt_strategy : strategy;
+  attempt_seed : int;
+  attempt_error : error option;
+}
+
+type fallback = {
+  fallback_result : result;
+  attempts : attempt list;
+}
+
+(* Whether retrying the same strategy with a fresh seed could plausibly
+   succeed.  Structural impossibilities (register too small, calibration
+   absent) and an exhausted budget cannot be reseeded away. *)
+let retryable = function
+  | Unroutable _ | Verification_rejected _ | Strategy_failed _ -> true
+  | Too_many_qubits _ | Missing_calibration _ | Deadline_exceeded _ -> false
+
+exception Found of result
+exception Out_of_time
+
+let compile_with_fallback ?(options = default_options) ?(chain = default_chain)
+    ?(retries = 1) device problem params =
+  if chain = [] then invalid_arg "Compile.compile_with_fallback: empty chain";
+  if retries < 0 then
+    invalid_arg "Compile.compile_with_fallback: negative retries";
+  Trace.with_span "core.compile.fallback"
+    ~attrs:
+      [
+        ("chain", Trace.int (List.length chain));
+        ("device", Trace.str device.Device.name);
+      ]
+  @@ fun () ->
+  (* One wall-clock budget for the whole chain: every attempt compiles
+     under whatever remains, so a stalling early strategy cannot starve
+     the cheap late fallbacks of their error reporting - the chain stops
+     with a [Deadline_exceeded] trail instead. *)
+  let deadline =
+    Option.map
+      (fun budget_s -> Qaoa_obs.Deadline.start ~budget_s)
+      options.deadline_s
+  in
+  let attempts = ref [] in
+  let attempt_index = ref 0 in
+  let record strat seed err =
+    attempts :=
+      { attempt_strategy = strat; attempt_seed = seed; attempt_error = err }
+      :: !attempts
+  in
+  try
+    List.iter
+      (fun strat ->
+        let tries = ref 0 in
+        let continue = ref true in
+        while !continue && !tries <= retries do
+          let opts =
+            match deadline with
+            | None -> options
+            | Some dl ->
+              let remaining_s = Qaoa_obs.Deadline.remaining_s dl in
+              if remaining_s <= 0.0 then raise Out_of_time;
+              { options with deadline_s = Some remaining_s }
+          in
+          (* First attempt uses the caller's seed verbatim; reseeds are a
+             deterministic function of the global attempt index, so the
+             whole fallback trail replays bit-identically. *)
+          let seed =
+            if !attempt_index = 0 then options.seed
+            else options.seed + (7919 * !attempt_index)
+          in
+          incr attempt_index;
+          Metrics_registry.incr "compile.fallback.attempts";
+          match
+            compile_result ~options:{ opts with seed } ~strategy:strat device
+              problem params
+          with
+          | Ok r ->
+            record strat seed None;
+            raise (Found r)
+          | Result.Error e ->
+            record strat seed (Some e);
+            (match e with
+            | Deadline_exceeded _ when Option.is_some deadline ->
+              raise Out_of_time
+            | _ -> ());
+            if retryable e then incr tries else continue := false
+        done)
+      chain;
+    Metrics_registry.incr "compile.fallback.exhausted";
+    Result.Error (List.rev !attempts)
+  with
+  | Found r ->
+    if List.length !attempts > 1 then
+      Metrics_registry.incr "compile.fallback.recovered";
+    Ok { fallback_result = r; attempts = List.rev !attempts }
+  | Out_of_time ->
+    Metrics_registry.incr "compile.fallback.exhausted";
+    Result.Error (List.rev !attempts)
 
 let success_probability ?include_readout device result =
   Success.of_circuit ?include_readout

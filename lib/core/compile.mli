@@ -33,16 +33,61 @@ type options = {
           false to keep the paper's metrics unassisted) *)
   verify : bool;
       (** run {!Qaoa_verify.Check} translation validation on the routed
-          circuit before decomposition, raising
-          {!Qaoa_verify.Check.Verification_failed} on any structural or
-          semantic discrepancy (semantic checks auto-skip past
+          circuit before decomposition; a rejection surfaces as
+          {!Error} [(Verification_rejected _)] (semantic checks
+          auto-skip past
           {!Qaoa_verify.Check.default_max_semantic_qubits} qubits;
           default false) *)
+  deadline_s : float option;
+      (** wall-clock budget for one compile; the routing loops poll it
+          cooperatively, surfacing {!Error} [(Deadline_exceeded _)] at
+          the next poll past the budget.  [compile_with_fallback]
+          interprets it as the budget of the {e whole} chain.  Must be
+          positive when given (default [None] = unbounded) *)
   router : Qaoa_backend.Router.config;
   qaim : Qaim.config;
 }
 
 val default_options : options
+
+(** {1 Failure taxonomy}
+
+    Everything that can go wrong during a compile, as data: fault-
+    injection sweeps and fallback chains match on these instead of
+    parsing exception strings. *)
+
+type error =
+  | Too_many_qubits of { needed : int; available : int }
+      (** The problem has more variables than the device has qubits. *)
+  | Missing_calibration of {
+      strategy : strategy;
+      coupling : (int * int) option;
+    }
+      (** A calibration-dependent strategy (VQA, VIC) on a device with no
+          snapshot ([coupling = None]), or a lookup of a specific
+          unrecorded coupling. *)
+  | Unroutable of { strategy : strategy; detail : string }
+      (** A two-qubit gate's operands sit in disconnected coupling
+          components - no SWAP sequence can ever satisfy it (typical
+          after fault injection severs a bridge coupling). *)
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+      (** The cooperative wall-clock budget ran out mid-compile. *)
+  | Verification_rejected of { strategy : strategy; detail : string }
+      (** [options.verify] was set and translation validation found a
+          structural or semantic discrepancy. *)
+  | Strategy_failed of { strategy : strategy; detail : string }
+      (** Residual ad-hoc failure ([Invalid_argument] / [Failure]) from
+          strategy internals, wrapped by {!compile_result}. *)
+
+exception Error of error
+
+val error_kind : error -> string
+(** Stable lower-snake-case tag (["unroutable"], ...) - also the suffix
+    of the ["compile.error.<kind>"] counters. *)
+
+val error_to_string : error -> string
+(** One-line human-readable rendering (also registered as the
+    [Printexc] printer for {!Error}). *)
 
 type phase_time = {
   phase : string;
@@ -83,10 +128,69 @@ val compile :
   Ansatz.params ->
   result
 (** Compile the p-level QAOA ansatz of the problem for the device.
-    @raise Invalid_argument if the problem needs more qubits than the
-    device has, or if VIC is requested on a device without calibration.
-    @raise Qaoa_verify.Check.Verification_failed if [options.verify] is
-    set and the routed circuit fails translation validation. *)
+    @raise Error with the structured taxonomy: [Too_many_qubits] when the
+    problem needs more qubits than the device has, [Missing_calibration]
+    when VQA/VIC is requested on an uncalibrated device, [Unroutable]
+    when operands land in disconnected coupling components,
+    [Deadline_exceeded] past [options.deadline_s], and
+    [Verification_rejected] when [options.verify] finds a discrepancy. *)
+
+val compile_result :
+  ?options:options ->
+  strategy:strategy ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Ansatz.params ->
+  (result, error) Stdlib.result
+(** {!compile} as a total function: {!Error} becomes [Error e], and any
+    residual [Invalid_argument] / [Failure] from strategy internals
+    becomes [Error (Strategy_failed _)].  Each error increments the
+    ["compile.error.<kind>"] counter. *)
+
+(** {1 Graceful degradation} *)
+
+val default_chain : strategy list
+(** [[Vic None; Ic None; Ip; Qaim; Greedy_e; Naive]] - best methodology
+    first, degrading towards the assumption-free baseline.  [Naive] only
+    needs a connected-enough register, so a chain ending in it survives
+    anything short of a structurally impossible problem. *)
+
+type attempt = {
+  attempt_strategy : strategy;
+  attempt_seed : int;  (** the seed this attempt compiled under *)
+  attempt_error : error option;  (** [None] = the winning attempt *)
+}
+
+type fallback = {
+  fallback_result : result;  (** the first successful compile *)
+  attempts : attempt list;
+      (** full trail in execution order; the last entry is the winner
+          (its [attempt_error] is [None]), every earlier entry records
+          why that strategy/seed was abandoned *)
+}
+
+val compile_with_fallback :
+  ?options:options ->
+  ?chain:strategy list ->
+  ?retries:int ->
+  Qaoa_hardware.Device.t ->
+  Problem.t ->
+  Ansatz.params ->
+  (fallback, attempt list) Stdlib.result
+(** Walk [chain] (default {!default_chain}) until a strategy compiles.
+    Each strategy gets [1 + retries] tries (default [retries = 1]): a
+    retryable failure (unroutable, verification, residual) is reseeded
+    deterministically ([options.seed + 7919 * global_attempt_index];
+    the very first attempt uses [options.seed] verbatim), while a
+    structural failure (too many qubits, missing calibration) skips
+    straight to the next strategy.  [options.deadline_s] budgets the
+    {e whole} chain: every attempt compiles under the remaining wall
+    clock, and once it is spent the chain stops with the trail so far.
+    Never raises on compile failures - [Error trail] reports an
+    exhausted chain.  Counters: ["compile.fallback.attempts"],
+    ["compile.fallback.recovered"] (a non-first attempt won),
+    ["compile.fallback.exhausted"].
+    @raise Invalid_argument on an empty [chain] or negative [retries]. *)
 
 val success_probability : ?include_readout:bool -> Qaoa_hardware.Device.t -> result -> float
 (** {!Success.of_circuit} on the compiled circuit. *)

@@ -94,6 +94,7 @@ let compile ?(config = default_config) ?(measure = true) rng device ~initial
     let gamma = params.Ansatz.gammas.(level) in
     let rec cost_layers remaining =
       if remaining <> [] then begin
+        Qaoa_obs.Deadline.check config.router.Router.deadline;
         let layer, rest =
           form_layer ?packing_limit:config.packing_limit rng ~dist
             ~phys:(Mapping.phys !mapping) remaining

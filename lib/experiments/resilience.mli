@@ -1,0 +1,56 @@
+(** Fault-sweep recompilation experiment: how gracefully does the
+    compiler degrade when the device breaks underneath it?
+
+    The Fig. 10 workload shapes (ER(0.5) and 6-regular MaxCut instances,
+    n = 13..15) are recompiled with {!Qaoa_core.Compile.compile_with_fallback}
+    on a calibrated 20-qubit tokyo register perturbed by each scenario of
+    a {!Qaoa_resilience.Faultspace} sweep (tokyo rather than the paper's
+    melbourne: with two qubits retired, melbourne's 15-qubit register can
+    no longer host the n = 15 instances at all, which would conflate
+    "degraded" with "impossible").  Every row reports compile survival,
+    fallback behaviour, and depth/SWAP/success degradation relative to
+    the healthy device. *)
+
+type row = {
+  scenario : string;  (** {!Qaoa_resilience.Faultspace.scenario} label *)
+  workload : string;  (** e.g. ["ER(p=0.5) n=14"] *)
+  instances : int;
+  compiled : int;  (** instances the fallback chain compiled *)
+  fallback_recovered : int;
+      (** compiled instances whose winner was not the first attempt *)
+  exhausted : int;  (** instances where the whole chain failed *)
+  mean_attempts : float;  (** compile attempts per instance *)
+  mean_depth : float;  (** over compiled instances; [nan] if none *)
+  mean_swaps : float;
+  mean_success : float;
+      (** success probability, scored against the degraded calibration
+          completed pessimistically
+          ({!Qaoa_resilience.Repair.complete_calibration}) *)
+  depth_ratio : float;  (** vs the healthy baseline; [nan] if unavailable *)
+  swap_ratio : float;
+  success_ratio : float;
+  winners : (string * int) list;
+      (** winning strategy name -> instances won, descending *)
+}
+
+val run :
+  ?scale:Figures.scale ->
+  ?seed:int ->
+  ?quiet:bool ->
+  ?device:Qaoa_hardware.Device.t ->
+  ?scenarios:Qaoa_resilience.Faultspace.scenario list ->
+  ?deadline_s:float ->
+  ?verify:bool ->
+  ?retries:int ->
+  unit ->
+  row list
+(** Run the sweep (scenarios default to
+    {!Qaoa_resilience.Faultspace.default}) and print one table row per
+    scenario x workload unless [quiet].  [device] defaults to tokyo; an
+    uncalibrated device gets a fixed-seed synthetic calibration attached
+    (VIC and the success metric need one).  Registers smaller than the
+    largest workload would conflate "degraded" with "impossible" - use
+    a >= 16-qubit topology.  [deadline_s], [verify] and [retries] are
+    passed through to the fallback chain; the healthy baseline is always
+    compiled (once per workload) to anchor the ratios, whether or not
+    the scenario list contains it. *)

@@ -22,7 +22,16 @@ let next_id =
 let create ?(single_qubit_error = 1e-3) ?(readout_error = 0.0) pairs =
   let cnot_errors =
     List.fold_left
-      (fun acc (u, v, e) -> Edge_map.add (key u v) e acc)
+      (fun acc (u, v, e) ->
+        if u = v then
+          invalid_arg
+            (Printf.sprintf "Calibration.create: self-coupling (%d, %d)" u v);
+        let k = key u v in
+        if Edge_map.mem k acc then
+          invalid_arg
+            (Printf.sprintf "Calibration.create: duplicate coupling (%d, %d)"
+               (fst k) (snd k));
+        Edge_map.add k e acc)
       Edge_map.empty pairs
   in
   { id = next_id (); cnot_errors; single_qubit_error; readout_error }
@@ -44,9 +53,15 @@ let random rng ?single_qubit_error ?readout_error ?(mu = 1.0e-2)
 let cnot_error t u v =
   match Edge_map.find_opt (key u v) t.cnot_errors with
   | Some e -> e
-  | None -> raise Not_found
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Calibration.cnot_error: no rate recorded for coupling (%d, %d)" u v)
 
 let cnot_error_opt t u v = Edge_map.find_opt (key u v) t.cnot_errors
+
+let cnot_error_or ~default t u v =
+  Option.value ~default (Edge_map.find_opt (key u v) t.cnot_errors)
 let single_qubit_error t = t.single_qubit_error
 let readout_error t = t.readout_error
 let cnot_success t u v = 1.0 -. cnot_error t u v
@@ -56,6 +71,22 @@ let cphase_success t u v =
   s *. s
 
 let edges t = List.map fst (Edge_map.bindings t.cnot_errors)
+
+let entries t =
+  List.map (fun ((u, v), e) -> (u, v, e)) (Edge_map.bindings t.cnot_errors)
+
+(* Rebuilding through [create] gives the derived snapshot a fresh [id],
+   so consumers memoizing on the id (e.g. Profile's weighted-distance
+   cache) never serve stale data for a perturbed calibration. *)
+let rebuild t pairs =
+  create ~single_qubit_error:t.single_qubit_error
+    ~readout_error:t.readout_error pairs
+
+let filter_edges f t =
+  rebuild t (List.filter (fun (u, v, e) -> f u v e) (entries t))
+
+let map_errors f t =
+  rebuild t (List.map (fun (u, v, e) -> (u, v, f u v e)) (entries t))
 
 let worst_edge t =
   match Edge_map.bindings t.cnot_errors with

@@ -13,7 +13,10 @@ val create :
   (int * int * float) list ->
   t
 (** [create pairs] with [(u, v, cnot_error)] triples.
-    [single_qubit_error] defaults to 1e-3, [readout_error] to 0. *)
+    [single_qubit_error] defaults to 1e-3, [readout_error] to 0.
+    @raise Invalid_argument on a self-coupling [(u, u)] or when two
+    triples name the same unordered coupling (so a snapshot can never
+    silently lose or shadow a rate). *)
 
 val uniform :
   ?single_qubit_error:float ->
@@ -40,9 +43,16 @@ val id : t -> int
     consumers memoize data derived from a calibration. *)
 
 val cnot_error : t -> int -> int -> float
-(** @raise Not_found if the coupling has no recorded rate. *)
+(** @raise Failure naming the missing coupling if it has no recorded
+    rate (["Calibration.cnot_error: no rate recorded for coupling
+    (u, v)"]).  Callers that can degrade gracefully should prefer
+    {!cnot_error_opt} or {!cnot_error_or}. *)
 
 val cnot_error_opt : t -> int -> int -> float option
+
+val cnot_error_or : default:float -> t -> int -> int -> float
+(** {!cnot_error_opt} with a fallback rate for unrecorded couplings. *)
+
 val single_qubit_error : t -> float
 val readout_error : t -> float
 
@@ -55,6 +65,19 @@ val cphase_success : t -> int -> int -> float
 
 val edges : t -> (int * int) list
 (** Couplings with recorded rates, [(u, v)] with [u < v], sorted. *)
+
+val entries : t -> (int * int * float) list
+(** Recorded [(u, v, cnot_error)] triples, [(u, v)] with [u < v],
+    sorted - the inverse of {!create}. *)
+
+val filter_edges : (int -> int -> float -> bool) -> t -> t
+(** Keep only the entries satisfying the predicate (scalar error rates
+    are preserved).  The result is a fresh snapshot with a new {!id}.
+    Fault injection uses this to drop or sever calibration entries. *)
+
+val map_errors : (int -> int -> float -> float) -> t -> t
+(** Rewrite every recorded rate (e.g. to apply calibration drift).  The
+    result is a fresh snapshot with a new {!id}. *)
 
 val worst_edge : t -> (int * int) * float
 (** Coupling with the highest CNOT error.  @raise Invalid_argument if no

@@ -12,9 +12,46 @@ let with_calibration t calibration = { t with calibration = Some calibration }
 
 let with_random_calibration ?mu ?sigma rng t =
   let cal = Calibration.random rng ?mu ?sigma (coupling_edges t) in
+  (* Self-check: every coupling edge must have drawn a rate, even for
+     degenerate coupling graphs (no edges, single edge, ...).  A gap here
+     would surface much later as a Failure inside a success-probability
+     fold, so fail loudly at the construction site instead. *)
+  List.iter
+    (fun (u, v) ->
+      if Calibration.cnot_error_opt cal u v = None then
+        invalid_arg
+          (Printf.sprintf
+             "Device.with_random_calibration: coupling (%d, %d) of %s has no \
+              drawn rate"
+             u v t.name))
+    (coupling_edges t);
   { t with calibration = Some cal }
 
 let calibration_exn t =
   match t.calibration with
   | Some c -> c
   | None -> invalid_arg (t.name ^ ": device has no calibration data")
+
+let validate t =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  if num_qubits t < 1 then issue "device %s has no qubits" t.name;
+  (match t.calibration with
+  | None -> ()
+  | Some cal ->
+    let in_range what x =
+      if not (Float.is_finite x && x >= 0.0 && x <= 1.0) then
+        issue "%s %g outside [0, 1]" what x
+    in
+    in_range "single-qubit error" (Calibration.single_qubit_error cal);
+    in_range "readout error" (Calibration.readout_error cal);
+    List.iter
+      (fun (u, v, e) ->
+        if u < 0 || v < 0 || u >= num_qubits t || v >= num_qubits t then
+          issue "calibration entry (%d, %d) outside the %d-qubit register" u v
+            (num_qubits t)
+        else if not (coupled t u v) then
+          issue "calibration entry (%d, %d) has no coupling edge" u v;
+        in_range (Printf.sprintf "CNOT error of (%d, %d)" u v) e)
+      (Calibration.entries cal));
+  match !issues with [] -> Ok () | l -> Error (List.rev l)

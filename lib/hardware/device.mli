@@ -22,7 +22,19 @@ val with_calibration : t -> Calibration.t -> t
 val with_random_calibration :
   ?mu:float -> ?sigma:float -> Qaoa_util.Rng.t -> t -> t
 (** Attach a synthetic calibration drawn per-edge from a clamped normal
-    distribution (defaults mu = 1e-2, sigma = 0.5e-2, as in Fig. 11(a)). *)
+    distribution (defaults mu = 1e-2, sigma = 0.5e-2, as in Fig. 11(a)).
+    Self-checks that {e every} coupling edge received a rate - including
+    degenerate coupling graphs - and raises [Invalid_argument] naming the
+    first uncovered coupling otherwise. *)
 
 val calibration_exn : t -> Calibration.t
 (** @raise Invalid_argument when the device has no calibration. *)
+
+val validate : t -> (unit, string list) result
+(** Structural sanity of a (possibly fault-injected) device: at least one
+    qubit; every calibration entry names an existing coupling edge within
+    the register; all error rates within [[0, 1]].  A calibration that
+    covers only a {e subset} of the couplings is deliberately legal -
+    that is exactly the "stale/incomplete snapshot" scenario the
+    resilience layer injects - consumers must treat missing rates as
+    degraded, not absent couplings. *)

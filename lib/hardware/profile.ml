@@ -36,8 +36,21 @@ let weighted_cache = memoize ()
 let weighted_distances device =
   let cal = Device.calibration_exn device in
   weighted_cache (Calibration.id cal) (fun () ->
+      (* Couplings without a recorded rate (stale or partial calibration
+         snapshots) score as the worst rate the snapshot does record - or
+         the 0.5 clamp ceiling when it records nothing - so the scorer
+         steers away from uncalibrated couplings yet still routes over
+         them when nothing better exists, instead of raising mid-route. *)
+      let fallback_error =
+        List.fold_left
+          (fun acc (_, _, e) -> Float.max acc e)
+          0.0 (Calibration.entries cal)
+      in
+      let fallback_error = if fallback_error > 0.0 then fallback_error else 0.5 in
       Paths.all_pairs_weighted device.Device.coupling ~weight:(fun u v ->
-          1.0 /. Calibration.cphase_success cal u v))
+          let e = Calibration.cnot_error_or ~default:fallback_error cal u v in
+          let s = (1.0 -. e) *. (1.0 -. e) in
+          1.0 /. Float.max s 1e-9))
 
 let distance_matrix ~variation_aware device =
   if variation_aware then weighted_distances device else hop_distances device

@@ -20,8 +20,11 @@ val hop_distances : Device.t -> Qaoa_util.Float_matrix.t
 
 val weighted_distances : Device.t -> Qaoa_util.Float_matrix.t
 (** All-pairs shortest paths with edge weights 1 / CPHASE-success
-    (Fig. 6(d)).  @raise Invalid_argument if the device has no
-    calibration. *)
+    (Fig. 6(d)).  Couplings the calibration does not cover are scored
+    pessimistically (the worst recorded rate, or the 0.5 clamp ceiling
+    for an empty snapshot), so partial calibrations degrade routing
+    quality instead of raising.  @raise Invalid_argument if the device
+    has no calibration at all. *)
 
 val distance_matrix : variation_aware:bool -> Device.t -> Qaoa_util.Float_matrix.t
 (** [hop_distances] or [weighted_distances] according to the flag - the

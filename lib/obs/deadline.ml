@@ -1,0 +1,28 @@
+type t = { budget_s : float; start_wall : float }
+
+exception Exceeded of { budget_s : float; elapsed_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded { budget_s; elapsed_s } ->
+      Some
+        (Printf.sprintf "Deadline.Exceeded(budget %.3fs, elapsed %.3fs)"
+           budget_s elapsed_s)
+    | _ -> None)
+
+let start ~budget_s =
+  if not (Float.is_finite budget_s) || budget_s <= 0.0 then
+    invalid_arg "Deadline.start: budget must be positive and finite";
+  { budget_s; start_wall = Clock.wall () }
+
+let budget_s t = t.budget_s
+let elapsed_s t = Clock.wall () -. t.start_wall
+let remaining_s t = t.budget_s -. elapsed_s t
+let expired t = remaining_s t <= 0.0
+
+let check = function
+  | None -> ()
+  | Some t ->
+    let elapsed_s = elapsed_s t in
+    if elapsed_s >= t.budget_s then
+      raise (Exceeded { budget_s = t.budget_s; elapsed_s })

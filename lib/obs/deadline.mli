@@ -1,0 +1,34 @@
+(** Per-compile wall-clock budgets with cooperative cancellation.
+
+    A deadline is started once at the top of a bounded operation (one
+    compile, one fallback chain) and then checked from the hot loops of
+    the router, SABRE and incremental compilation.  A check past the
+    budget raises {!Exceeded}; callers translate that into their own
+    structured error (e.g. [Compile.Deadline_exceeded]) so a slow or
+    adversarial instance aborts promptly instead of hanging the whole
+    batch.
+
+    Checks read the wall clock ({!Clock.wall}), so cancellation latency
+    is one loop iteration of the checking code - microseconds for the
+    routing loops, far below any realistic budget. *)
+
+type t
+
+exception Exceeded of { budget_s : float; elapsed_s : float }
+(** Raised by {!check} once the budget is spent. *)
+
+val start : budget_s:float -> t
+(** Start a deadline [budget_s] seconds from now.
+    @raise Invalid_argument if [budget_s] is not positive and finite. *)
+
+val budget_s : t -> float
+val elapsed_s : t -> float
+
+val remaining_s : t -> float
+(** Seconds left; negative once the deadline has passed. *)
+
+val expired : t -> bool
+
+val check : t option -> unit
+(** [check (Some d)] raises {!Exceeded} when [d] has passed; [check None]
+    is free.  The [option] form matches how configs carry deadlines. *)

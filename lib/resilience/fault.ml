@@ -1,0 +1,120 @@
+module Graph = Qaoa_graph.Graph
+module Device = Qaoa_hardware.Device
+module Calibration = Qaoa_hardware.Calibration
+module Rng = Qaoa_util.Rng
+
+type t =
+  | Dead_qubit of int
+  | Random_dead_qubits of int
+  | Severed_coupling of int * int
+  | Random_severed_couplings of int
+  | Calibration_drift of { sigma : float }
+  | Dropped_calibration of { fraction : float }
+
+let label = function
+  | Dead_qubit q -> Printf.sprintf "dead(%d)" q
+  | Random_dead_qubits k -> Printf.sprintf "dead*%d" k
+  | Severed_coupling (u, v) -> Printf.sprintf "sever(%d-%d)" (min u v) (max u v)
+  | Random_severed_couplings k -> Printf.sprintf "sever*%d" k
+  | Calibration_drift { sigma } -> Printf.sprintf "drift(%g)" sigma
+  | Dropped_calibration { fraction } ->
+    Printf.sprintf "drop(%g%%)" (100.0 *. fraction)
+
+(* Same clamp range as Calibration.random: rates below 1e-4 are better
+   than any published hardware, above 0.5 the gate is worse than a coin
+   flip. *)
+let clamp_rate e = Float.min 0.5 (Float.max 1e-4 e)
+
+let map_calibration f device =
+  { device with Device.calibration = Option.map f device.Device.calibration }
+
+let kill_qubit device q =
+  if q < 0 || q >= Device.num_qubits device then
+    invalid_arg (Printf.sprintf "Fault: dead qubit %d out of range" q);
+  let coupling =
+    List.fold_left
+      (fun g v -> Graph.remove_edge g q v)
+      device.Device.coupling
+      (Graph.neighbors device.Device.coupling q)
+  in
+  map_calibration
+    (Calibration.filter_edges (fun u v _ -> u <> q && v <> q))
+    { device with Device.coupling }
+
+let sever device u v =
+  if not (Graph.has_edge device.Device.coupling u v) then
+    invalid_arg
+      (Printf.sprintf "Fault: coupling (%d, %d) does not exist on %s" u v
+         device.Device.name);
+  let ku = min u v and kv = max u v in
+  map_calibration
+    (Calibration.filter_edges (fun a b _ -> not (a = ku && b = kv)))
+    { device with Device.coupling = Graph.remove_edge device.Device.coupling u v }
+
+let apply ~seed fault device =
+  let rng = Rng.create seed in
+  match fault with
+  | Dead_qubit q -> kill_qubit device q
+  | Random_dead_qubits k ->
+    let n = Device.num_qubits device in
+    if k < 0 || k > n then
+      invalid_arg (Printf.sprintf "Fault: cannot retire %d of %d qubits" k n);
+    List.fold_left kill_qubit device (Rng.sample_without_replacement rng k n)
+  | Severed_coupling (u, v) -> sever device u v
+  | Random_severed_couplings k ->
+    let edges = Graph.edges device.Device.coupling in
+    let m = List.length edges in
+    if k < 0 || k > m then
+      invalid_arg
+        (Printf.sprintf "Fault: cannot sever %d of %d couplings" k m);
+    List.fold_left
+      (fun dev (u, v) -> sever dev u v)
+      device
+      (List.filteri (fun i _ -> i < k) (Rng.shuffle_list rng edges))
+  | Calibration_drift { sigma } ->
+    if not (Float.is_finite sigma) || sigma <= 0.0 then
+      invalid_arg "Fault: drift sigma must be positive and finite";
+    map_calibration
+      (Calibration.map_errors (fun _ _ e ->
+           clamp_rate (e *. exp (sigma *. Rng.normal rng ~mu:0.0 ~sigma:1.0))))
+      device
+  | Dropped_calibration { fraction } ->
+    if not (Float.is_finite fraction) || fraction < 0.0 || fraction > 1.0
+    then invalid_arg "Fault: drop fraction must lie in [0, 1]";
+    map_calibration
+      (fun cal ->
+        let n = List.length (Calibration.entries cal) in
+        if fraction = 0.0 || n = 0 then cal
+        else begin
+          let k =
+            max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
+          in
+          let doomed = ref [] in
+          List.iter
+            (fun i -> doomed := i :: !doomed)
+            (Rng.sample_without_replacement rng (min k n) n);
+          let keep = Array.make n true in
+          List.iter (fun i -> keep.(i) <- false) !doomed;
+          let i = ref (-1) in
+          Calibration.filter_edges
+            (fun _ _ _ ->
+              incr i;
+              keep.(!i))
+            cal
+        end)
+      device
+
+let apply_all ~seed faults device =
+  (* Distinct sub-seed per fault position: each list replays
+     bit-identically, and two faults in one scenario never share a draw
+     stream. *)
+  let _, device =
+    List.fold_left
+      (fun (i, dev) fault -> (i + 1, apply ~seed:(seed + (97 * i)) fault dev))
+      (0, device) faults
+  in
+  device
+
+let describe = function
+  | [] -> "healthy"
+  | faults -> String.concat "+" (List.map label faults)

@@ -1,0 +1,61 @@
+(** Seeded fault injection against {!Qaoa_hardware.Device.t}.
+
+    Real superconducting backends degrade in exactly the ways the paper's
+    variation-aware methodologies are motivated by (Sec. II, Fig. 2):
+    qubits get retired from the register, couplings fail, calibration
+    drifts between snapshots, and calibration entries go missing.  A
+    fault takes a healthy device and returns a {e valid but degraded}
+    one - the coupling graph keeps its vertex count, the calibration
+    (when present) stays within the register - so every downstream
+    component sees a well-formed input and must cope with the
+    degradation semantically rather than crashing on malformed data.
+
+    All randomness flows through an explicit seed, so a fault scenario
+    replays bit-identically across runs and machines. *)
+
+type t =
+  | Dead_qubit of int
+      (** Retire one physical qubit: every incident coupling edge is
+          removed and every calibration entry touching it dropped.  The
+          vertex itself remains (indices stay stable); mapping
+          strategies may still place logicals there, which the fallback
+          chain's reseeded retries are expected to survive. *)
+  | Random_dead_qubits of int
+      (** Retire [k] distinct qubits drawn from the register. *)
+  | Severed_coupling of int * int
+      (** Remove one coupling edge (and its calibration entry). *)
+  | Random_severed_couplings of int
+      (** Remove [k] distinct coupling edges drawn uniformly. *)
+  | Calibration_drift of { sigma : float }
+      (** Multiplicative log-normal walk on every recorded CNOT error:
+          [e * exp (sigma * N(0,1))], clamped to [1e-4, 0.5] (the same
+          clamp {!Qaoa_hardware.Calibration.random} applies).  Models a
+          stale snapshot whose rates no longer match the hardware. *)
+  | Dropped_calibration of { fraction : float }
+      (** Forget a uniform [fraction] of the recorded calibration
+          entries (at least one when [fraction > 0] and any exist) -
+          the "incomplete snapshot" scenario.  Couplings remain; only
+          their rates vanish. *)
+
+val label : t -> string
+(** Compact stable tag, e.g. ["dead(3)"], ["dead*2"], ["sever(0-1)"],
+    ["sever*3"], ["drift(0.25)"], ["drop(20%)"] - used in sweep tables
+    and CI logs. *)
+
+val apply : seed:int -> t -> Qaoa_hardware.Device.t -> Qaoa_hardware.Device.t
+(** Inject one fault.  The result is structurally valid
+    ({!Qaoa_hardware.Device.validate} holds if it held on the input) but
+    possibly disconnected or partially calibrated.  Calibration-only
+    faults (drift, drop) are no-ops on a device without a snapshot.
+    @raise Invalid_argument on out-of-range qubits/couplings, a negative
+    count, a count exceeding what the device has, a non-positive
+    [sigma], or a [fraction] outside [[0, 1]]. *)
+
+val apply_all :
+  seed:int -> t list -> Qaoa_hardware.Device.t -> Qaoa_hardware.Device.t
+(** Fold {!apply} left-to-right, deriving a distinct sub-seed per fault
+    (so reordering independent faults changes the draw streams but each
+    list replays deterministically). *)
+
+val describe : t list -> string
+(** [label]s joined with ["+"]; ["healthy"] for the empty list. *)

@@ -1,0 +1,37 @@
+type scenario = { label : string; faults : Fault.t list }
+
+let scenario ?label faults =
+  { label = Option.value ~default:(Fault.describe faults) label; faults }
+
+let baseline = scenario []
+
+let dead_qubit_sweep ?(counts = [ 1; 2; 3 ]) () =
+  List.map (fun k -> scenario [ Fault.Random_dead_qubits k ]) counts
+
+let severed_coupling_sweep ?(counts = [ 1; 2; 4 ]) () =
+  List.map (fun k -> scenario [ Fault.Random_severed_couplings k ]) counts
+
+let drift_sweep ?(sigmas = [ 0.1; 0.25; 0.5 ]) () =
+  List.map (fun sigma -> scenario [ Fault.Calibration_drift { sigma } ]) sigmas
+
+let drop_sweep ?(fractions = [ 0.1; 0.2; 0.5 ]) () =
+  List.map
+    (fun fraction -> scenario [ Fault.Dropped_calibration { fraction } ])
+    fractions
+
+let cross left right =
+  List.concat_map
+    (fun l ->
+      List.map
+        (fun r ->
+          { label = l.label ^ "+" ^ r.label; faults = l.faults @ r.faults })
+        right)
+    left
+
+let default =
+  (baseline :: dead_qubit_sweep ())
+  @ severed_coupling_sweep () @ drift_sweep () @ drop_sweep ()
+  @ [
+      scenario
+        [ Fault.Random_dead_qubits 2; Fault.Dropped_calibration { fraction = 0.2 } ];
+    ]

@@ -1,0 +1,38 @@
+(** Named fault scenarios and sweep generation.
+
+    A sweep is a list of scenarios, each a label plus the fault list to
+    inject; the resilience experiment recompiles every workload under
+    every scenario and reports degradation relative to {!baseline}. *)
+
+type scenario = {
+  label : string;  (** stable row label, e.g. ["dead*2+drop(20%)"] *)
+  faults : Fault.t list;
+}
+
+val scenario : ?label:string -> Fault.t list -> scenario
+(** [label] defaults to {!Fault.describe} of the faults. *)
+
+val baseline : scenario
+(** The healthy device: no faults, labelled ["healthy"]. *)
+
+val dead_qubit_sweep : ?counts:int list -> unit -> scenario list
+(** One scenario per count (default [[1; 2; 3]]). *)
+
+val severed_coupling_sweep : ?counts:int list -> unit -> scenario list
+(** One scenario per count (default [[1; 2; 4]]). *)
+
+val drift_sweep : ?sigmas:float list -> unit -> scenario list
+(** One scenario per drift sigma (default [[0.1; 0.25; 0.5]]). *)
+
+val drop_sweep : ?fractions:float list -> unit -> scenario list
+(** One scenario per dropped-calibration fraction
+    (default [[0.1; 0.2; 0.5]]). *)
+
+val cross : scenario list -> scenario list -> scenario list
+(** Cartesian product, concatenating fault lists and joining labels
+    with ["+"]. *)
+
+val default : scenario list
+(** {!baseline}, every per-axis sweep at defaults, plus the compound
+    stress scenario [dead*2+drop(20%)] the acceptance criterion names
+    (two random dead qubits and 20% of calibration entries missing). *)

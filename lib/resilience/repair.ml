@@ -1,0 +1,33 @@
+module Device = Qaoa_hardware.Device
+module Calibration = Qaoa_hardware.Calibration
+
+let missing_couplings device =
+  match device.Device.calibration with
+  | None -> []
+  | Some cal ->
+    List.filter
+      (fun (u, v) -> Calibration.cnot_error_opt cal u v = None)
+      (Device.coupling_edges device)
+
+let complete_calibration device =
+  match device.Device.calibration with
+  | None -> device
+  | Some cal -> (
+    match missing_couplings device with
+    | [] -> device
+    | missing ->
+      let worst =
+        List.fold_left
+          (fun acc (_, _, e) -> Float.max acc e)
+          0.0 (Calibration.entries cal)
+      in
+      let worst = if worst > 0.0 then worst else 0.5 in
+      let filled =
+        Calibration.entries cal
+        @ List.map (fun (u, v) -> (u, v, worst)) missing
+      in
+      Device.with_calibration device
+        (Calibration.create
+           ~single_qubit_error:(Calibration.single_qubit_error cal)
+           ~readout_error:(Calibration.readout_error cal)
+           filled))

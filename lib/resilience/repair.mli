@@ -1,0 +1,20 @@
+(** Conservative repairs applied before metrics that need total data.
+
+    Fault injection leaves calibrations covering only a subset of the
+    couplings.  Compilation tolerates that (the router scores missing
+    rates pessimistically), but the success-probability metric
+    ({!Qaoa_hardware.Calibration.cnot_error} per gate) needs a rate for
+    every coupling the compiled circuit touches.  Rather than teaching
+    the metric to guess, the experiment completes the snapshot
+    explicitly - with the {e worst} recorded rate, so a degraded device
+    is never scored better than the data supports. *)
+
+val complete_calibration : Qaoa_hardware.Device.t -> Qaoa_hardware.Device.t
+(** Fill every coupling edge the calibration does not record with the
+    worst recorded CNOT error (or the 0.5 clamp ceiling when nothing is
+    recorded).  A device without any calibration, or whose calibration
+    is already total, is returned unchanged. *)
+
+val missing_couplings : Qaoa_hardware.Device.t -> (int * int) list
+(** Coupling edges the calibration records no rate for ([[]] when the
+    device has no calibration at all). *)

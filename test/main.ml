@@ -27,4 +27,5 @@ let () =
       ("pipeline-fuzz", Test_pipeline.suite);
       ("verify", Test_verify.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -137,7 +137,7 @@ let test_compile_problem_too_large () =
   let device = Topologies.linear 4 in
   let problem = Problem.of_maxcut (Generators.cycle 6) in
   Alcotest.check_raises "too large"
-    (Invalid_argument "Compile.compile: problem larger than device")
+    (Compile.Error (Compile.Too_many_qubits { needed = 6; available = 4 }))
     (fun () ->
       ignore
         (Compile.compile ~strategy:Compile.Naive device problem

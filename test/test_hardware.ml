@@ -79,8 +79,9 @@ let test_calibration_success_rates () =
   Alcotest.(check (float 1e-12)) "cnot success" 0.9 (Calibration.cnot_success cal 0 1);
   Alcotest.(check (float 1e-12)) "cphase success" 0.81
     (Calibration.cphase_success cal 0 1);
-  Alcotest.check_raises "unknown pair" Not_found (fun () ->
-      ignore (Calibration.cnot_error cal 0 2))
+  Alcotest.check_raises "unknown pair"
+    (Failure "Calibration.cnot_error: no rate recorded for coupling (0, 2)")
+    (fun () -> ignore (Calibration.cnot_error cal 0 2))
 
 let test_calibration_random () =
   let rng = Rng.create 31 in
