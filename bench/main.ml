@@ -145,13 +145,22 @@ let write_bench_json ~dir ~scale ~resilience rows =
       ]
   in
   let path = Filename.concat dir "BENCH_results.json" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Json.to_channel oc doc;
-      output_char oc '\n');
+  Qaoa_journal.Atomic_write.write_string ~path (Json.to_string doc ^ "\n");
   Printf.printf "wrote %s\n" path
+
+(* Campaign durability: QAOA_BENCH_JOURNAL=DIR journals every trial so a
+   crashed or killed bench run resumes (QAOA_BENCH_RESUME=1) from its
+   last completed trial instead of starting over. *)
+let journal_from_env () =
+  match Sys.getenv_opt "QAOA_BENCH_JOURNAL" with
+  | None -> None
+  | Some dir ->
+    let resume =
+      match Sys.getenv_opt "QAOA_BENCH_RESUME" with
+      | Some ("1" | "true" | "yes") -> true
+      | _ -> false
+    in
+    Some (Qaoa_journal.Journal.open_ ~resume ~dir ())
 
 let () =
   let scale = Figures.scale_from_env () in
@@ -159,24 +168,38 @@ let () =
     "QAOA circuit-compilation benchmark harness (scale=%s; set \
      QAOA_BENCH_SCALE=smoke|default|full)\n"
     (Figures.scale_name scale);
+  Qaoa_journal.Chaos.install_from_env ();
+  let journal = journal_from_env () in
+  if Option.is_some journal then
+    Qaoa_journal.Signals.install
+      ~resume_hint:"QAOA_BENCH_RESUME=1 <same bench command>";
   let t0 = Sys.time () in
-  let figures = Figures.all ~scale () in
+  let figures = Figures.all ~scale ?journal () in
   Printf.printf "\nfigures regenerated in %.1f CPU s\n" (Sys.time () -. t0);
   let t1 = Sys.time () in
-  let ablations = Qaoa_experiments.Ablations.all ~scale () in
+  let ablations = Qaoa_experiments.Ablations.all ~scale ?journal () in
   Printf.printf "\nablations regenerated in %.1f CPU s\n" (Sys.time () -. t1);
   let t2 = Sys.time () in
   let resilience =
-    resilience_summary (Qaoa_experiments.Resilience.run ~scale ())
+    resilience_summary (Qaoa_experiments.Resilience.run ~scale ?journal ())
   in
   (let instances, compiled, recovered, exhausted = resilience in
    Printf.printf
      "\nresilience sweep in %.1f CPU s: %d/%d compiled, %d recovered by \
       fallback, %d exhausted\n"
      (Sys.time () -. t2) compiled instances recovered exhausted);
+  Option.iter
+    (fun j ->
+      let module J = Qaoa_journal.Journal in
+      let s = J.stats j in
+      Printf.printf
+        "journal: %d trial(s) on record at %s (%d cached, %d executed, %d \
+         quarantined)\n"
+        (J.entries j) (J.path j) s.J.hits s.J.appended s.J.quarantined)
+    journal;
   (* plot-ready CSVs alongside the printed tables *)
   let dir = "bench_results" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Qaoa_journal.Atomic_write.mkdir_p dir;
   let named prefix rows_list =
     List.map (fun (name, rows) -> (prefix ^ name, [], rows)) rows_list
   in

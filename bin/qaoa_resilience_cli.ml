@@ -10,6 +10,7 @@ module Figures = Qaoa_experiments.Figures
 module Resilience = Qaoa_experiments.Resilience
 module Differential = Qaoa_experiments.Differential
 module Compile = Qaoa_core.Compile
+module Journal = Qaoa_journal.Journal
 open Cmdliner
 
 let scale_conv =
@@ -28,16 +29,26 @@ let deadline_conv =
         | _ -> Error (`Msg "expected a positive number of seconds")),
       fun ppf d -> Format.fprintf ppf "%g" d )
 
-let run scale seed topologies deadline verify retries fail_on_exhausted =
+let run scale seed topologies deadline verify retries fail_on_exhausted
+    journal_dir resume =
   try
+    if resume && Option.is_none journal_dir then
+      failwith "--resume requires --journal DIR";
+    Qaoa_journal.Chaos.install_from_env ();
+    let journal =
+      Option.map (fun dir -> Journal.open_ ~resume ~dir ()) journal_dir
+    in
+    if Option.is_some journal then
+      Qaoa_journal.Signals.install
+        ~resume_hint:(Qaoa_journal.Signals.resume_hint_of_argv ());
     let compiled = ref 0 and total = ref 0 in
     let recovered = ref 0 and exhausted = ref 0 in
     List.iter
       (fun name ->
         let device = Differential.device_of_topology name in
         let rows =
-          Resilience.run ~scale ~seed ~device ?deadline_s:deadline ~verify
-            ~retries ()
+          Resilience.run ~scale ?journal ~seed ~device ?deadline_s:deadline
+            ~verify ~retries ()
         in
         List.iter
           (fun r ->
@@ -51,6 +62,16 @@ let run scale seed topologies deadline verify retries fail_on_exhausted =
       "\nresilience summary: %d/%d compiled, %d recovered by fallback, %d \
        exhausted\n"
       !compiled !total !recovered !exhausted;
+    Option.iter
+      (fun j ->
+        let s = Journal.stats j in
+        Printf.printf
+          "journal: %d trial(s) on record at %s (%d cached, %d executed, %d \
+           quarantined)\n"
+          (Journal.entries j) (Journal.path j) s.Journal.hits
+          s.Journal.appended s.Journal.quarantined;
+        Journal.close j)
+      journal;
     if fail_on_exhausted && !exhausted > 0 then begin
       Printf.eprintf
         "qaoa-resilience: %d instance(s) exhausted the fallback chain\n"
@@ -116,6 +137,24 @@ let cmd =
             "Exit 1 if any instance exhausts the whole fallback chain \
              (CI guard).")
   in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal every (device, workload, scenario) cell to \
+             $(docv)/journal.jsonl so an interrupted sweep can be resumed.  \
+             A non-empty journal is refused unless $(b,--resume) is given.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the journal: completed cells are read back instead \
+             of re-executed, quarantined cells stay skipped.")
+  in
   Cmd.v
     (Cmd.info "qaoa-resilience" ~version:"1.0.0"
        ~doc:
@@ -123,6 +162,6 @@ let cmd =
           through the graceful-degradation chain")
     Term.(
       const run $ scale $ seed $ topologies $ deadline $ verify $ retries
-      $ fail_on_exhausted)
+      $ fail_on_exhausted $ journal_dir $ resume)
 
 let () = exit (Cmd.eval' ~term_err:2 cmd)

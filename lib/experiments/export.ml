@@ -38,12 +38,10 @@ let csv_of_rows ~columns rows =
   Buffer.contents buf
 
 let write_file ~path ~columns rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (csv_of_rows ~columns rows))
+  Qaoa_journal.Atomic_write.write_string ~path (csv_of_rows ~columns rows)
 
 let export_all ~dir triples =
+  Qaoa_journal.Atomic_write.mkdir_p dir;
   List.map
     (fun (name, columns, rows) ->
       let path = Filename.concat dir (name ^ ".csv") in

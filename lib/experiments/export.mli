@@ -12,9 +12,12 @@ val escape_field : string -> string
 (** The quoting rule applied to every field. *)
 
 val write_file : path:string -> columns:string list -> Figures.row list -> unit
-(** [csv_of_rows] to a file. *)
+(** [csv_of_rows] to a file, atomically
+    ({!Qaoa_journal.Atomic_write.write}): readers and crashes see either
+    the previous complete file or the new one, never a torn CSV. *)
 
 val export_all :
   dir:string -> (string * string list * Figures.row list) list -> string list
-(** [(name, columns, rows)] triples to [dir/name.csv] (the directory must
-    exist); returns the written paths. *)
+(** [(name, columns, rows)] triples to [dir/name.csv]; [dir] is created
+    recursively if missing (and left untouched if it already exists).
+    Each file is written atomically.  Returns the written paths. *)

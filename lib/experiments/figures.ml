@@ -56,7 +56,8 @@ let params = Workload.default_params
 (* Fig. 7: initial-mapping comparison on 20-node graphs.              *)
 (* ------------------------------------------------------------------ *)
 
-let mapping_comparison_rows ~scale ~seed ~n ~kinds ~paper_count =
+let mapping_comparison_rows ?journal ~experiment ~scale ~seed ~n ~kinds
+    ~paper_count () =
   let device = Topologies.ibmq_20_tokyo () in
   let c = count ~paper:paper_count scale in
   List.map
@@ -64,7 +65,10 @@ let mapping_comparison_rows ~scale ~seed ~n ~kinds ~paper_count =
       let rng = Rng.create (seed + Hashtbl.hash (Workload.kind_name kind)) in
       let problems = Workload.problems rng kind ~n ~count:c in
       let res =
-        Runner.run ~base_seed:seed ~device
+        Runner.run ~base_seed:seed ?journal
+          ~experiment:
+            (Printf.sprintf "%s/%s" experiment (Workload.kind_name kind))
+          ~device
           ~strategies:[ Compile.Naive; Compile.Greedy_v; Compile.Qaim ]
           ~params problems
       in
@@ -78,11 +82,11 @@ let mapping_comparison_rows ~scale ~seed ~n ~kinds ~paper_count =
         ] ))
     kinds
 
-let fig7 ?(scale = Default) ?(seed = 7000) ?(quiet = false) () =
+let fig7 ?(scale = Default) ?journal ?(seed = 7000) ?(quiet = false) () =
   header ~quiet "Fig.7" "QAIM vs GreedyV vs NAIVE, 20-node graphs, ibmq_20_tokyo" scale;
   let rows =
-    mapping_comparison_rows ~scale ~seed ~n:20 ~kinds:(er_kinds @ regular_kinds)
-      ~paper_count:50
+    mapping_comparison_rows ?journal ~experiment:"fig7" ~scale ~seed ~n:20
+      ~kinds:(er_kinds @ regular_kinds) ~paper_count:50 ()
   in
   print_rows ~quiet
     [ "GreedyV/NAIVE depth"; "QAIM/NAIVE depth"; "GreedyV/NAIVE gates"; "QAIM/NAIVE gates" ]
@@ -99,7 +103,7 @@ let fig7 ?(scale = Default) ?(seed = 7000) ?(quiet = false) () =
 (* Fig. 8: problem-size sweep (3-regular, n = 12..20).                *)
 (* ------------------------------------------------------------------ *)
 
-let fig8 ?(scale = Default) ?(seed = 8000) ?(quiet = false) () =
+let fig8 ?(scale = Default) ?journal ?(seed = 8000) ?(quiet = false) () =
   header ~quiet "Fig.8" "mapping quality vs problem size, 3-regular, ibmq_20_tokyo" scale;
   let device = Topologies.ibmq_20_tokyo () in
   let c = count ~paper:20 scale in
@@ -109,7 +113,8 @@ let fig8 ?(scale = Default) ?(seed = 8000) ?(quiet = false) () =
         let rng = Rng.create (seed + n) in
         let problems = Workload.problems rng (Workload.Regular 3) ~n ~count:c in
         let res =
-          Runner.run ~base_seed:seed ~device
+          Runner.run ~base_seed:seed ?journal
+            ~experiment:(Printf.sprintf "fig8/n=%d" n) ~device
             ~strategies:[ Compile.Naive; Compile.Greedy_v; Compile.Qaim ]
             ~params problems
         in
@@ -137,7 +142,7 @@ let fig8 ?(scale = Default) ?(seed = 8000) ?(quiet = false) () =
 (* Fig. 9: IP and IC vs QAIM-only.                                    *)
 (* ------------------------------------------------------------------ *)
 
-let fig9 ?(scale = Default) ?(seed = 9000) ?(quiet = false) () =
+let fig9 ?(scale = Default) ?journal ?(seed = 9000) ?(quiet = false) () =
   header ~quiet "Fig.9" "IP(+QAIM) and IC(+QAIM) vs QAIM-only, 20-node graphs, tokyo" scale;
   let device = Topologies.ibmq_20_tokyo () in
   let c = count ~paper:50 scale in
@@ -147,7 +152,10 @@ let fig9 ?(scale = Default) ?(seed = 9000) ?(quiet = false) () =
         let rng = Rng.create (seed + Hashtbl.hash (Workload.kind_name kind)) in
         let problems = Workload.problems rng kind ~n:20 ~count:c in
         let res =
-          Runner.run ~base_seed:seed ~device
+          Runner.run ~base_seed:seed ?journal
+            ~experiment:
+              (Printf.sprintf "fig9/%s" (Workload.kind_name kind))
+            ~device
             ~strategies:[ Compile.Qaim; Compile.Ip; Compile.Ic None ]
             ~params problems
         in
@@ -181,7 +189,7 @@ let fig9 ?(scale = Default) ?(seed = 9000) ?(quiet = false) () =
 (* Fig. 10: VIC vs IC success probability on calibrated melbourne.    *)
 (* ------------------------------------------------------------------ *)
 
-let fig10 ?(scale = Default) ?(seed = 10000) ?(quiet = false) () =
+let fig10 ?(scale = Default) ?journal ?(seed = 10000) ?(quiet = false) () =
   header ~quiet "Fig.10" "VIC vs IC success probability, ibmq_16_melbourne (Fig.10a calibration)" scale;
   let device = Topologies.ibmq_16_melbourne () in
   let c = count ~paper:20 scale in
@@ -193,7 +201,10 @@ let fig10 ?(scale = Default) ?(seed = 10000) ?(quiet = false) () =
             let rng = Rng.create (seed + n + Hashtbl.hash (Workload.kind_name kind)) in
             let problems = Workload.problems rng kind ~n ~count:c in
             let res =
-              Runner.run ~base_seed:seed ~device
+              Runner.run ~base_seed:seed ?journal
+                ~experiment:
+                  (Printf.sprintf "fig10/%s/n=%d" (Workload.kind_name kind) n)
+                ~device
                 ~strategies:[ Compile.Ic None; Compile.Vic None ]
                 ~params problems
             in
@@ -220,7 +231,7 @@ let fig10 ?(scale = Default) ?(seed = 10000) ?(quiet = false) () =
 (* Fig. 11(a): normalized summary over 20-node instances.             *)
 (* ------------------------------------------------------------------ *)
 
-let fig11a ?(scale = Default) ?(seed = 11000) ?(quiet = false) () =
+let fig11a ?(scale = Default) ?journal ?(seed = 11000) ?(quiet = false) () =
   header ~quiet "Fig.11a" "summary normalized by NAIVE (20-node ER + regular, tokyo)" scale;
   let rng = Rng.create seed in
   let device =
@@ -239,7 +250,10 @@ let fig11a ?(scale = Default) ?(seed = 11000) ?(quiet = false) () =
   let strategies =
     [ Compile.Naive; Compile.Qaim; Compile.Ip; Compile.Ic None; Compile.Vic None ]
   in
-  let res = Runner.run ~base_seed:seed ~device ~strategies ~params problems in
+  let res =
+    Runner.run ~base_seed:seed ?journal ~experiment:"fig11a" ~device
+      ~strategies ~params problems
+  in
   let naive = Runner.find res Compile.Naive in
   let rows =
     List.map
@@ -264,7 +278,7 @@ let fig11a ?(scale = Default) ?(seed = 11000) ?(quiet = false) () =
 (* Fig. 11(b): ARG on (simulated) hardware.                           *)
 (* ------------------------------------------------------------------ *)
 
-let fig11b ?(scale = Default) ?(seed = 11500) ?(quiet = false) () =
+let fig11b ?(scale = Default) ?journal ?(seed = 11500) ?(quiet = false) () =
   header ~quiet "Fig.11b"
     "ARG of QAIM/IP/IC/VIC, 12-node instances, melbourne + trajectory noise" scale;
   let device = Topologies.ibmq_16_melbourne () in
@@ -281,26 +295,43 @@ let fig11b ?(scale = Default) ?(seed = 11500) ?(quiet = false) () =
           kind ~n:12 ~count:c)
       [ Workload.Erdos_renyi 0.5; Workload.Regular 6 ]
   in
-  (* p=1 parameters found analytically per instance (Sec. V.A protocol) *)
+  (* p=1 parameters found analytically per instance (Sec. V.A protocol);
+     lazy so a fully journaled resume skips the optimization entirely *)
   let with_params =
-    List.map
-      (fun problem ->
-        let g = Problem.interaction_graph problem in
-        let prms, _ = Analytic.optimize ~grid:24 g in
-        (problem, prms))
-      problems
+    lazy
+      (List.map
+         (fun problem ->
+           let g = Problem.interaction_graph problem in
+           let prms, _ = Analytic.optimize ~grid:24 g in
+           (problem, prms))
+         problems)
   in
   let rows =
     List.map
       (fun strategy ->
         let args =
-          List.mapi
-            (fun i (problem, prms) ->
-              let options = { Compile.default_options with seed = seed + i } in
-              let r = Compile.compile ~options ~strategy device problem prms in
-              let rng = Rng.create (seed + i) in
-              (Arg.evaluate ~shots rng device problem prms r).Arg.arg_percent)
-            with_params
+          List.filter_map Fun.id
+            (List.mapi
+               (fun i _problem ->
+                 Sweep.value ?journal
+                   ~key:
+                     (Printf.sprintf "fig11b/%s/i%d/s%d"
+                        (Compile.strategy_name strategy)
+                        i (seed + i))
+                   (fun () ->
+                     let problem, prms =
+                       List.nth (Lazy.force with_params) i
+                     in
+                     let options =
+                       { Compile.default_options with seed = seed + i }
+                     in
+                     let r =
+                       Compile.compile ~options ~strategy device problem prms
+                     in
+                     let rng = Rng.create (seed + i) in
+                     (Arg.evaluate ~shots rng device problem prms r)
+                       .Arg.arg_percent))
+               problems)
         in
         (Compile.strategy_name strategy, [ Stats.mean args ]))
       strategies
@@ -317,7 +348,7 @@ let fig11b ?(scale = Default) ?(seed = 11500) ?(quiet = false) () =
 (* Fig. 12: packing-limit sweep on the 36-qubit grid.                 *)
 (* ------------------------------------------------------------------ *)
 
-let fig12 ?(scale = Default) ?(seed = 12000) ?(quiet = false) () =
+let fig12 ?(scale = Default) ?journal ?(seed = 12000) ?(quiet = false) () =
   header ~quiet "Fig.12" "IC(+QAIM) vs packing limit, 36-node graphs, 6x6 grid" scale;
   let device = Topologies.grid_6x6 () in
   let c = count ~paper:20 scale in
@@ -339,7 +370,8 @@ let fig12 ?(scale = Default) ?(seed = 12000) ?(quiet = false) () =
     List.map
       (fun limit ->
         let res =
-          Runner.run ~base_seed:seed ~device
+          Runner.run ~base_seed:seed ?journal
+            ~experiment:(Printf.sprintf "fig12/limit=%d" limit) ~device
             ~strategies:[ Compile.Ic (Some limit) ]
             ~params problems
         in
@@ -361,7 +393,7 @@ let fig12 ?(scale = Default) ?(seed = 12000) ?(quiet = false) () =
 (* Sec. VI: ring-8 comparison against the temporal planner [46].      *)
 (* ------------------------------------------------------------------ *)
 
-let fig_ring8 ?(scale = Default) ?(seed = 4600) ?(quiet = false) () =
+let fig_ring8 ?(scale = Default) ?journal ?(seed = 4600) ?(quiet = false) () =
   header ~quiet "Sec.VI" "IC(+QAIM) on 8-node/8-edge ER instances, 8-qubit ring" scale;
   let device = Topologies.ring 8 in
   let c = count ~paper:50 scale in
@@ -369,8 +401,8 @@ let fig_ring8 ?(scale = Default) ?(seed = 4600) ?(quiet = false) () =
     Workload.problems (Rng.create seed) (Workload.Gnm 8) ~n:8 ~count:c
   in
   let res =
-    Runner.run ~base_seed:seed ~device ~strategies:[ Compile.Ic None ] ~params
-      problems
+    Runner.run ~base_seed:seed ?journal ~experiment:"ring8" ~device
+      ~strategies:[ Compile.Ic None ] ~params problems
   in
   let a = List.hd res in
   let rows =
@@ -384,18 +416,18 @@ let fig_ring8 ?(scale = Default) ?(seed = 4600) ?(quiet = false) () =
     ];
   rows
 
-let all ?(scale = Default) ?(seed = 1) () =
+let all ?(scale = Default) ?journal ?(seed = 1) () =
   ignore seed;
   (* sequential lets: OCaml list-literal evaluation order is unspecified,
      and the figures print as they run *)
-  let f7 = fig7 ~scale () in
-  let f8 = fig8 ~scale () in
-  let f9 = fig9 ~scale () in
-  let f10 = fig10 ~scale () in
-  let f11a = fig11a ~scale () in
-  let f11b = fig11b ~scale () in
-  let f12 = fig12 ~scale () in
-  let ring8 = fig_ring8 ~scale () in
+  let f7 = fig7 ~scale ?journal () in
+  let f8 = fig8 ~scale ?journal () in
+  let f9 = fig9 ~scale ?journal () in
+  let f10 = fig10 ~scale ?journal () in
+  let f11a = fig11a ~scale ?journal () in
+  let f11b = fig11b ~scale ?journal () in
+  let f12 = fig12 ~scale ?journal () in
+  let ring8 = fig_ring8 ~scale ?journal () in
   [
     ("fig7", f7);
     ("fig8", f8);

@@ -8,6 +8,8 @@ module Rng = Qaoa_util.Rng
 module Stats = Qaoa_util.Stats
 module Table = Qaoa_util.Table
 module Metrics = Qaoa_circuit.Metrics
+module Json = Qaoa_obs.Json
+module Supervisor = Qaoa_journal.Supervisor
 
 type row = {
   scenario : string;
@@ -81,6 +83,70 @@ let compile_cell ~options ~retries device problems params =
       List.sort (fun (_, a) (_, b) -> compare b a) !winners;
   }
 
+let encode_cell c =
+  Json.Assoc
+    [
+      ("instances", Json.Int c.c_instances);
+      ("compiled", Json.Int c.c_compiled);
+      ("recovered", Json.Int c.c_recovered);
+      ("exhausted", Json.Int c.c_exhausted);
+      ("attempts", Json.Float c.c_attempts);
+      ("depth", Json.Float c.c_depth);
+      ("swaps", Json.Float c.c_swaps);
+      ("success", Json.Float c.c_success);
+      ( "winners",
+        Json.List
+          (List.map
+             (fun (name, n) ->
+               Json.Assoc [ ("name", Json.String name); ("n", Json.Int n) ])
+             c.c_winners) );
+    ]
+
+let decode_cell doc =
+  let num field =
+    Option.value ~default:Float.nan
+      (Option.bind (Json.member field doc) Json.to_float)
+  in
+  let int field = int_of_float (num field) in
+  {
+    c_instances = int "instances";
+    c_compiled = int "compiled";
+    c_recovered = int "recovered";
+    c_exhausted = int "exhausted";
+    c_attempts = num "attempts";
+    c_depth = num "depth";
+    c_swaps = num "swaps";
+    c_success = num "success";
+    c_winners =
+      (match Json.member "winners" doc with
+      | Some (Json.List ws) ->
+        List.filter_map
+          (fun w ->
+            match (Json.member "name" w, Json.member "n" w) with
+            | Some (Json.String name), Some n ->
+              Option.map
+                (fun n -> (name, int_of_float n))
+                (Json.to_float n)
+            | _ -> None)
+          ws
+      | _ -> []);
+  }
+
+(* One journaled unit of work = one (device, workload, scenario) cell;
+   the cell carries no timing, so resumed sweeps reproduce uninterrupted
+   ones bit for bit.  Without a journal the thunk runs directly,
+   preserving the historical contract (exceptions propagate). *)
+let supervised_cell ?journal ~key f =
+  match journal with
+  | None -> Some (f ())
+  | Some journal -> (
+    match
+      Supervisor.trial ~journal ~key ~encode:encode_cell ~decode:decode_cell
+        (fun ~attempt:_ ~deadline:_ -> f ())
+    with
+    | Supervisor.Completed c -> Some c
+    | Supervisor.Quarantined _ -> None)
+
 let count ~paper = function
   | Figures.Full -> paper
   | Figures.Default -> max 2 (paper / 6)
@@ -89,8 +155,8 @@ let count ~paper = function
 let workloads = [ Workload.Erdos_renyi 0.5; Workload.Regular 6 ]
 let sizes = [ 13; 14; 15 ]
 
-let run ?(scale = Figures.Default) ?(seed = 13000) ?(quiet = false) ?device
-    ?(scenarios = Faultspace.default) ?deadline_s ?(verify = false)
+let run ?(scale = Figures.Default) ?journal ?(seed = 13000) ?(quiet = false)
+    ?device ?(scenarios = Faultspace.default) ?deadline_s ?(verify = false)
     ?(retries = 1) () =
   let base_device =
     match device with
@@ -120,37 +186,54 @@ let run ?(scale = Figures.Default) ?(seed = 13000) ?(quiet = false) ?device
                 (Rng.create (seed + n + Hashtbl.hash (Workload.kind_name kind)))
                 kind ~n ~count:c
             in
-            let base =
-              compile_cell ~options ~retries base_device problems params
+            let cell_key suffix =
+              Printf.sprintf "resilience/%s/%s/%s" base_device.Device.name
+                workload suffix
             in
-            List.map
-              (fun sc ->
-                let cell =
-                  if sc.Faultspace.faults = [] then base
-                  else
-                    compile_cell ~options ~retries
-                      (Fault.apply_all
-                         ~seed:(seed + Hashtbl.hash sc.Faultspace.label)
-                         sc.Faultspace.faults base_device)
-                      problems params
-                in
-                {
-                  scenario = sc.Faultspace.label;
-                  workload;
-                  instances = cell.c_instances;
-                  compiled = cell.c_compiled;
-                  fallback_recovered = cell.c_recovered;
-                  exhausted = cell.c_exhausted;
-                  mean_attempts = cell.c_attempts;
-                  mean_depth = cell.c_depth;
-                  mean_swaps = cell.c_swaps;
-                  mean_success = cell.c_success;
-                  depth_ratio = Stats.ratio cell.c_depth base.c_depth;
-                  swap_ratio = Stats.ratio cell.c_swaps base.c_swaps;
-                  success_ratio = Stats.ratio cell.c_success base.c_success;
-                  winners = cell.c_winners;
-                })
-              scenarios)
+            match
+              supervised_cell ?journal ~key:(cell_key "baseline") (fun () ->
+                  compile_cell ~options ~retries base_device problems params)
+            with
+            | None ->
+              (* quarantined baseline: no anchor for the ratios, so the
+                 whole workload is dropped rather than reported skewed *)
+              []
+            | Some base ->
+              List.filter_map
+                (fun sc ->
+                  let cell =
+                    if sc.Faultspace.faults = [] then Some base
+                    else
+                      supervised_cell ?journal
+                        ~key:(cell_key sc.Faultspace.label)
+                        (fun () ->
+                          compile_cell ~options ~retries
+                            (Fault.apply_all
+                               ~seed:(seed + Hashtbl.hash sc.Faultspace.label)
+                               sc.Faultspace.faults base_device)
+                            problems params)
+                  in
+                  Option.map
+                    (fun cell ->
+                      {
+                        scenario = sc.Faultspace.label;
+                        workload;
+                        instances = cell.c_instances;
+                        compiled = cell.c_compiled;
+                        fallback_recovered = cell.c_recovered;
+                        exhausted = cell.c_exhausted;
+                        mean_attempts = cell.c_attempts;
+                        mean_depth = cell.c_depth;
+                        mean_swaps = cell.c_swaps;
+                        mean_success = cell.c_success;
+                        depth_ratio = Stats.ratio cell.c_depth base.c_depth;
+                        swap_ratio = Stats.ratio cell.c_swaps base.c_swaps;
+                        success_ratio =
+                          Stats.ratio cell.c_success base.c_success;
+                        winners = cell.c_winners;
+                      })
+                    cell)
+                scenarios)
           sizes)
       workloads
   in

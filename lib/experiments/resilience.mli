@@ -35,6 +35,7 @@ type row = {
 
 val run :
   ?scale:Figures.scale ->
+  ?journal:Qaoa_journal.Journal.t ->
   ?seed:int ->
   ?quiet:bool ->
   ?device:Qaoa_hardware.Device.t ->
@@ -53,4 +54,12 @@ val run :
     a >= 16-qubit topology.  [deadline_s], [verify] and [retries] are
     passed through to the fallback chain; the healthy baseline is always
     compiled (once per workload) to anchor the ratios, whether or not
-    the scenario list contains it. *)
+    the scenario list contains it.
+
+    [journal] makes the sweep resumable at cell granularity: each
+    (device, workload, scenario) cell is one supervised trial (key
+    ["resilience/<device>/<workload>/<scenario>"], baseline cells under
+    [".../baseline"]), so an interrupted sweep resumed with the same
+    seed reproduces the uninterrupted row set bit for bit.  A
+    quarantined scenario cell drops that row; a quarantined baseline
+    drops its whole workload (no anchor for the ratios). *)

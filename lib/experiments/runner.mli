@@ -1,7 +1,16 @@
 (** Experiment runner: compile instance sets under several strategies and
     aggregate the paper's circuit-quality metrics (mean depth, gate count,
     compilation time, SWAPs, and - when the device is calibrated - success
-    probability). *)
+    probability).
+
+    With a journal, every (strategy, instance) compile becomes one
+    supervised, journaled trial (key
+    ["<experiment>/<strategy>/i<instance>/s<seed>"]): completed trials
+    are skipped on resume, failing trials are retried with
+    deterministically reseeded attempts and quarantined after [tries]
+    failures, and aggregates are computed from the journal's view of
+    each trial so resumed and uninterrupted sweeps agree bit for bit on
+    every seed-deterministic metric. *)
 
 type aggregate = {
   strategy : Qaoa_core.Compile.strategy;
@@ -12,12 +21,19 @@ type aggregate = {
   mean_time : float;  (** CPU seconds *)
   mean_wall_time : float;  (** wall-clock seconds *)
   mean_success : float option;  (** None when the device is uncalibrated *)
-  instances : int;
+  instances : int;  (** trials contributing to the means *)
+  quarantined : int;
+      (** journaled trials dropped after exhausting supervision
+          (always [0] without a journal, where failures raise instead) *)
 }
 
 val run :
   ?base_seed:int ->
   ?options:Qaoa_core.Compile.options ->
+  ?journal:Qaoa_journal.Journal.t ->
+  ?experiment:string ->
+  ?trial_deadline_s:float ->
+  ?tries:int ->
   device:Qaoa_hardware.Device.t ->
   strategies:Qaoa_core.Compile.strategy list ->
   params:Qaoa_core.Ansatz.params ->
@@ -25,10 +41,22 @@ val run :
   aggregate list
 (** Each instance [i] is compiled with seed [base_seed + i] (all
     strategies see the same seed for a given instance, so comparisons are
-    paired).  Order of the result follows [strategies]. *)
+    paired).  Order of the result follows [strategies].
+
+    [journal] turns each compile into a supervised trial; [experiment]
+    (required alongside it) prefixes the trial keys and must be unique
+    per logical sweep (include sweep knobs such as packing limits or
+    workload kinds so keys never collide).  [trial_deadline_s] bounds
+    each trial's wall clock across its [tries] attempts (attempt [k]
+    reseeds to [base_seed + i + 7919 k]); the remaining budget is
+    threaded into [Compile.options.deadline_s] for cooperative
+    cancellation.  Compile failures without a journal propagate as
+    before.
+    @raise Invalid_argument if [journal] is given without [experiment]. *)
 
 val find : aggregate list -> Qaoa_core.Compile.strategy -> aggregate
-(** @raise Not_found if the strategy was not run. *)
+(** @raise Failure naming the missing strategy and the aggregates
+    actually present. *)
 
 val ratio :
   aggregate list ->

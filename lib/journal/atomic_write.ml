@@ -1,0 +1,33 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* tolerate a concurrent creator between the check and the mkdir *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": exists but is not a directory"))
+
+(* distinct temp names per process and per call, so concurrent writers
+   to the same destination never share a scratch file *)
+let tmp_counter = ref 0
+
+let write ~path f =
+  incr tmp_counter;
+  let tmp =
+    Printf.sprintf "%s.tmp-%d-%d" path (Unix.getpid ()) !tmp_counter
+  in
+  let oc = open_out tmp in
+  (try
+     f oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write_string ~path s = write ~path (fun oc -> output_string oc s)

@@ -1,0 +1,24 @@
+(** Crash-safe file replacement: write to a temporary file in the target
+    directory, flush + fsync, then [rename] over the destination.
+
+    POSIX renames within one filesystem are atomic, so a reader (or a
+    crash) sees either the previous complete file or the new complete
+    file - never a prefix.  Every artifact the sweep layer emits
+    ([bench_results/*.csv], [BENCH_results.json], [report.md]) goes
+    through here so an interrupted run cannot leave a torn artifact
+    behind. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents ([mkdir -p]).  Succeeds
+    silently when the directory already exists.
+    @raise Sys_error when a path component exists but is not a
+    directory, or creation fails for another reason. *)
+
+val write : path:string -> (out_channel -> unit) -> unit
+(** [write ~path f] runs [f] on a channel to a fresh temporary file
+    next to [path] (same directory, [".tmp-<pid>-<n>"] suffix), fsyncs,
+    and atomically renames it to [path].  The temporary file is removed
+    if [f] raises; the destination is untouched in that case. *)
+
+val write_string : path:string -> string -> unit
+(** [write ~path (fun oc -> output_string oc s)]. *)

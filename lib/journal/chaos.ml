@@ -1,0 +1,81 @@
+type action = Crash_after of int | Tear_after of int
+type mode = Exit | Raise
+type plan = { action : action; mode : mode }
+
+exception Injected of string
+
+let crash_exit_code = 42
+let tear_exit_code = 43
+
+let action_to_string = function
+  | Crash_after n -> Printf.sprintf "crash-after=%d" n
+  | Tear_after n -> Printf.sprintf "tear-after=%d" n
+
+let state : plan option ref = ref None
+let appends = ref 0
+
+(* armed by [intercept] on the fatal append, fired by [die] once the
+   journal has pushed the (possibly torn) bytes to disk *)
+let pending : (mode * int * string) option ref = ref None
+
+let set_plan p =
+  state := p;
+  appends := 0;
+  pending := None
+
+let plan_of_string s =
+  let parse prefix mk =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some n when n >= 1 -> Some (Ok { action = mk n; mode = Exit })
+      | _ -> Some (Error (Printf.sprintf "QAOA_CHAOS: bad count in %S" s))
+    else None
+  in
+  match parse "crash-after=" (fun n -> Crash_after n) with
+  | Some r -> r
+  | None -> (
+    match parse "tear-after=" (fun n -> Tear_after n) with
+    | Some r -> r
+    | None ->
+      Error
+        (Printf.sprintf
+           "QAOA_CHAOS: expected crash-after=N or tear-after=N, got %S" s))
+
+let install_from_env () =
+  match Sys.getenv_opt "QAOA_CHAOS" with
+  | None | Some "" -> ()
+  | Some s -> (
+    match plan_of_string s with
+    | Ok p -> set_plan (Some p)
+    | Error msg -> failwith msg)
+
+type verdict = Pass | Torn of string
+
+let intercept line =
+  match !state with
+  | None -> Pass
+  | Some { action; mode } -> (
+    incr appends;
+    match action with
+    | Crash_after n when !appends = n ->
+      pending := Some (mode, crash_exit_code, action_to_string action);
+      Pass
+    | Tear_after n when !appends = n ->
+      pending := Some (mode, tear_exit_code, action_to_string action);
+      (* chop inside the record body so both the checksum and the JSON
+         are violated - the worst-case torn shape *)
+      Torn (String.sub line 0 (max 1 (String.length line / 2)))
+    | Crash_after _ | Tear_after _ -> Pass)
+
+let die () =
+  match !pending with
+  | None -> ()
+  | Some (mode, code, what) -> (
+    pending := None;
+    state := None;
+    match mode with
+    | Exit ->
+      Printf.eprintf "chaos: simulated crash (%s), exiting %d\n%!" what code;
+      Unix._exit code
+    | Raise -> raise (Injected what))

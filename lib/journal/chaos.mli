@@ -1,0 +1,69 @@
+(** Deterministic failure injection for the journal's own durability
+    machinery.
+
+    The chaos plan intercepts journal appends and simulates the two
+    crash shapes the journal must survive: a process death immediately
+    after a record is made durable ([Crash_after]), and a process death
+    mid-write leaving a torn trailing record ([Tear_after]).  CI and the
+    test suite use it to prove that an interrupted-then-resumed sweep
+    reproduces the uninterrupted sweep's artifacts byte for byte.
+
+    Two delivery modes: [Exit] kills the process with {!Unix._exit}
+    (skipping [at_exit], like a real crash - exit code {!crash_exit_code}
+    or {!tear_exit_code}), while [Raise] raises {!Injected} so in-process
+    tests can catch the "crash" and immediately exercise recovery. *)
+
+type action =
+  | Crash_after of int
+      (** die right after the [n]-th record (1-based) is fully written
+          and flushed *)
+  | Tear_after of int
+      (** write only a prefix of the [n]-th record, flush, then die -
+          the canonical torn-trailing-record crash *)
+
+type mode =
+  | Exit  (** [Unix._exit], bypassing [at_exit] finalizers *)
+  | Raise  (** raise {!Injected} instead (for in-process tests) *)
+
+type plan = { action : action; mode : mode }
+
+exception Injected of string
+(** The simulated crash, in [Raise] mode.  The payload names the action
+    (["crash-after=4"], ["tear-after=2"]). *)
+
+val crash_exit_code : int
+(** [42] - the exit code of an [Exit]-mode [Crash_after]. *)
+
+val tear_exit_code : int
+(** [43] - the exit code of an [Exit]-mode [Tear_after]. *)
+
+val set_plan : plan option -> unit
+(** Install (or clear) the process-global plan and reset the append
+    counter. *)
+
+val plan_of_string : string -> (plan, string) result
+(** Parse ["crash-after=N"] / ["tear-after=N"] (always [Exit] mode, the
+    CLI delivery). *)
+
+val install_from_env : unit -> unit
+(** Read [QAOA_CHAOS] and {!set_plan} accordingly; no-op when unset.
+    @raise Failure on a malformed value - a chaos run that silently
+    does nothing would defeat its purpose. *)
+
+type verdict =
+  | Pass  (** write the record normally *)
+  | Torn of string  (** write this prefix instead, flush, then die *)
+
+val intercept : string -> verdict
+(** Called by the journal with each record's full on-disk line.  Counts
+    appends against the plan; on the fatal append either returns
+    [Torn prefix] (the journal writes the prefix, flushes, then calls
+    {!die}) or returns [Pass] and arranges for {!die} to fire after the
+    write (crash mode kills {e after} durability, tear mode {e during}).
+    Without a plan this is [Pass] at the cost of one branch. *)
+
+val die : unit -> unit
+(** Execute a pending simulated death, if {!intercept} armed one:
+    [Unix._exit] or raise {!Injected} per the plan's mode.  No-op
+    otherwise.  The journal calls it right after flushing the record
+    bytes returned by {!intercept}. *)

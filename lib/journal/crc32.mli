@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over strings.
+
+    Used as the per-record checksum of the {!Journal} JSONL format: cheap
+    enough to compute on every append, strong enough to tell a torn or
+    bit-flipped record from a well-formed one with overwhelming
+    probability.  Self-contained so the journal needs no external
+    dependency. *)
+
+val digest : string -> int32
+(** CRC-32 of the whole string ([digest "123456789" = 0xCBF43926l]). *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex ([8] characters), the journal's on-disk
+    rendering. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex characters. *)

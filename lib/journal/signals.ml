@@ -1,0 +1,17 @@
+let resume_hint_of_argv () =
+  let argv = Array.to_list Sys.argv in
+  let argv = if List.mem "--resume" argv then argv else argv @ [ "--resume" ] in
+  String.concat " " argv
+
+let install ~resume_hint =
+  let handle code _ =
+    (* flushed-per-record journal + at_exit finalizers make a plain
+       [exit] sufficient: no record can be half-written from here *)
+    Printf.eprintf "\ninterrupted; resume with: %s\n%!" resume_hint;
+    exit code
+  in
+  List.iter
+    (fun (signal, code) ->
+      try Sys.set_signal signal (Sys.Signal_handle (handle code))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, 130); (Sys.sigterm, 143) ]

@@ -26,3 +26,7 @@ let check = function
     let elapsed_s = elapsed_s t in
     if elapsed_s >= t.budget_s then
       raise (Exceeded { budget_s = t.budget_s; elapsed_s })
+
+let remaining_opt = function
+  | None -> None
+  | Some t -> Some (Float.max 1e-9 (remaining_s t))

@@ -32,3 +32,11 @@ val expired : t -> bool
 val check : t option -> unit
 (** [check (Some d)] raises {!Exceeded} when [d] has passed; [check None]
     is free.  The [option] form matches how configs carry deadlines. *)
+
+val remaining_opt : t option -> float option
+(** Remaining budget in a shape directly usable as a nested operation's
+    own budget (e.g. [Compile.options.deadline_s], which must be
+    positive): [None] stays unbounded, an expired deadline clamps to a
+    tiny positive epsilon so the nested operation's first cooperative
+    check trips immediately.  Callers wanting the raw (possibly
+    negative) figure use {!remaining_s}. *)

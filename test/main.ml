@@ -28,4 +28,5 @@ let () =
       ("verify", Test_verify.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("resilience", Test_resilience.suite);
+      ("journal", Test_journal.suite);
     ]

@@ -64,8 +64,11 @@ let test_runner_aggregation () =
         a.Runner.mean_depth)
   in
   Alcotest.(check bool) "ratio finite" true (Float.is_finite r);
-  Alcotest.check_raises "missing strategy" Not_found (fun () ->
-      ignore (Runner.find res Compile.Ip))
+  Alcotest.check_raises "missing strategy"
+    (Failure
+       "Runner.find: strategy IP has no aggregate (aggregates cover: NAIVE, \
+        IC)")
+    (fun () -> ignore (Runner.find res Compile.Ip))
 
 let test_runner_uncalibrated_success_none () =
   let device = Topologies.ibmq_20_tokyo () in
