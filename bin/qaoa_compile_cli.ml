@@ -71,8 +71,8 @@ let guard f =
     Printf.eprintf "qaoa-compile: %s\n" msg;
     2
 
-let run device strategy nodes kind seed p gamma beta packing_limit qasm trace
-    trace_out =
+let run device strategy nodes kind seed p gamma beta packing_limit qasm lint
+    trace trace_out =
   guard @@ fun () ->
   (match trace with
   | Some sink -> Obs_config.set ?out:trace_out (Some sink)
@@ -96,7 +96,7 @@ let run device strategy nodes kind seed p gamma beta packing_limit qasm trace
     | Compile.Vic _, Some l -> Compile.Vic (Some l)
     | s, _ -> s
   in
-  let options = { Compile.default_options with seed } in
+  let options = { Compile.default_options with seed; lint } in
   let result = Compile.compile ~options ~strategy device problem params in
   Printf.printf "device:    %s (%d qubits)\n" device.Device.name
     (Device.num_qubits device);
@@ -128,7 +128,14 @@ let run device strategy nodes kind seed p gamma beta packing_limit qasm trace
     print_endline "--- OpenQASM 2.0 ---";
     print_string (Qaoa_circuit.Qasm.to_string result.Compile.circuit)
   end;
-  0
+  if lint then begin
+    let module Lint = Qaoa_analysis.Lint in
+    print_endline "--- lint ---";
+    print_string (Lint.to_text result.Compile.lint_findings);
+    (* only ERROR findings fail the compile invocation *)
+    if Lint.count Lint.Error result.Compile.lint_findings > 0 then 1 else 0
+  end
+  else 0
 
 let cmd =
   let device =
@@ -171,6 +178,14 @@ let cmd =
   let qasm =
     Arg.(value & flag & info [ "qasm" ] ~doc:"Print the compiled OpenQASM 2.0.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the static lint rules on the compiled circuit (recorded \
+             as the lint phase); exit 1 if any ERROR finding is reported.")
+  in
   let trace =
     let sink_conv =
       Arg.conv
@@ -202,7 +217,7 @@ let cmd =
   let term =
     Term.(
       const run $ device $ strategy $ nodes $ kind $ seed $ p $ gamma $ beta
-      $ packing_limit $ qasm $ trace $ trace_out)
+      $ packing_limit $ qasm $ lint $ trace $ trace_out)
   in
   Cmd.v
     (Cmd.info "qaoa-compile" ~version:"1.0.0"

@@ -64,7 +64,22 @@ let guard f =
 
 (* ---------------- check ---------------- *)
 
-let run_check topology strategies all nodes kind seed p max_semantic =
+let oracle_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "auto" -> Ok Check.Auto
+        | "statevector" -> Ok Check.Statevector_only
+        | "phase-poly" | "phase_poly" -> Ok Check.Phase_poly_only
+        | _ -> Error (`Msg "expected auto | statevector | phase-poly")),
+      fun ppf o ->
+        Format.pp_print_string ppf
+          (match o with
+          | Check.Auto -> "auto"
+          | Check.Statevector_only -> "statevector"
+          | Check.Phase_poly_only -> "phase-poly") )
+
+let run_check topology strategies all nodes kind seed p max_semantic oracle =
   guard @@ fun () ->
   let device = Differential.device_of_topology topology in
   let strategies =
@@ -75,12 +90,19 @@ let run_check topology strategies all nodes kind seed p max_semantic =
   let params = { Ansatz.gammas = Array.make p 0.7; betas = Array.make p 0.4 } in
   let logical = Ansatz.circuit ~measure:true problem params in
   let options = { Compile.default_options with seed } in
+  let check_options =
+    {
+      (Check.default_options ()) with
+      Check.max_semantic_qubits = max_semantic;
+      oracle;
+    }
+  in
   let failures = ref 0 in
   List.iter
     (fun strategy ->
       let r = Compile.compile ~options ~strategy device problem params in
       let report =
-        Check.validate ~max_semantic_qubits:max_semantic ~device
+        Check.validate ~options:check_options ~device
           ~initial:r.Compile.initial_mapping ~final:r.Compile.final_mapping
           ~swap_count:r.Compile.swap_count ~logical r.Compile.circuit
       in
@@ -124,15 +146,24 @@ let check_cmd =
   let max_semantic =
     Arg.(
       value
-      & opt int Check.default_max_semantic_qubits
+      & opt int (Check.default_options ()).Check.max_semantic_qubits
       & info [ "max-semantic-qubits" ]
-          ~doc:"Statevector-equivalence limit; larger registers get \
-                structural checks only.")
+          ~doc:"Statevector-equivalence limit; larger registers fall back \
+                to the phase-polynomial oracle (also settable via \
+                QAOA_MAX_SEMANTIC_QUBITS).")
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt oracle_conv Check.Auto
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:"Semantic oracle: auto (statevector within the qubit \
+                limit, phase-poly past it), statevector, or phase-poly.")
   in
   let term =
     Term.(
       const run_check $ topology $ strategies $ all $ nodes $ kind $ seed $ p
-      $ max_semantic)
+      $ max_semantic $ oracle)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Validate one compiled instance end-to-end")
@@ -153,7 +184,8 @@ let run_fuzz cases_count seed topologies strategies max_nodes max_semantic =
       ~max_nodes ~max_semantic_qubits:max_semantic ()
   in
   Format.printf "%a@."
-    (Fuzz.pp_stats ~case_name:Differential.case_name)
+    (Fuzz.pp_stats ~case_repro:Differential.repro
+       ~case_name:Differential.case_name)
     stats;
   if stats.Fuzz.failures = [] then 0 else 1
 
@@ -186,7 +218,7 @@ let fuzz_cmd =
   let max_semantic =
     Arg.(
       value
-      & opt int Check.default_max_semantic_qubits
+      & opt int (Check.default_options ()).Check.max_semantic_qubits
       & info [ "max-semantic-qubits" ]
           ~doc:"Statevector-equivalence limit per case.")
   in

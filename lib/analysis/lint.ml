@@ -1,0 +1,508 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Optimize = Qaoa_circuit.Optimize
+module Metrics = Qaoa_circuit.Metrics
+module Decompose = Qaoa_circuit.Decompose
+module Device = Qaoa_hardware.Device
+module Calibration = Qaoa_hardware.Calibration
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
+module Json = Qaoa_obs.Json
+
+type severity = Info | Warn | Error
+
+let severity_name = function Info -> "INFO" | Warn -> "WARN" | Error -> "ERROR"
+
+let severity_of_string s =
+  match String.uppercase_ascii s with
+  | "INFO" -> Some Info
+  | "WARN" | "WARNING" -> Some Warn
+  | "ERROR" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
+let severity_compare a b = compare (severity_rank a) (severity_rank b)
+
+type finding = {
+  rule : string;
+  severity : severity;
+  message : string;
+  gate_span : (int * int) option;
+  fix_hint : string option;
+}
+
+type role = Logical | Compiled
+
+type context = {
+  circuit : Circuit.t;
+  role : role;
+  device : Device.t option;
+  max_depth : int option;
+  min_success_prob : float option;
+}
+
+let context ?device ?max_depth ?min_success_prob ~role circuit =
+  { circuit; role; device; max_depth; min_success_prob }
+
+type rule = {
+  id : string;
+  name : string;
+  severity : severity;
+  roles : role list;
+  check : context -> finding list;
+}
+
+let gate_str g = Format.asprintf "%a" Gate.pp g
+
+(* ---------------------------------------------------------------- *)
+(* Built-in rules                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* QL001: a two-qubit gate on a physically uncoupled pair can never be
+   executed; the mapper/router must have been bypassed or given the
+   wrong device. *)
+let check_uncoupled ctx =
+  match ctx.device with
+  | None -> []
+  | Some dev ->
+    let findings = ref [] in
+    List.iteri
+      (fun i g ->
+        match Gate.qubits g with
+        | [ a; b ] when Gate.is_two_qubit g && not (Device.coupled dev a b) ->
+          findings :=
+            {
+              rule = "QL001";
+              severity = Error;
+              message =
+                Printf.sprintf "%s acts on pair (%d, %d), uncoupled on %s"
+                  (gate_str g) a b dev.Device.name;
+              gate_span = Some (i, i);
+              fix_hint =
+                Some "re-run mapping/routing against this device's coupling graph";
+            }
+            :: !findings
+        | _ -> ())
+      (Circuit.gates ctx.circuit);
+    List.rev !findings
+
+(* QL002: an executed coupling with no calibration entry means the
+   variation-aware passes scored it blind (Profile falls back to the
+   pessimistic ceiling). *)
+let check_missing_calibration ctx =
+  match ctx.device with
+  | None | Some { Device.calibration = None; _ } -> []
+  | Some ({ Device.calibration = Some cal; _ } as dev) ->
+    let seen = Hashtbl.create 16 in
+    let findings = ref [] in
+    List.iteri
+      (fun i g ->
+        match Gate.qubits g with
+        | [ a; b ]
+          when Gate.is_two_qubit g
+               && Device.coupled dev a b
+               && Calibration.cnot_error_opt cal a b = None ->
+          let key = (min a b, max a b) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            findings :=
+              {
+                rule = "QL002";
+                severity = Warn;
+                message =
+                  Printf.sprintf
+                    "coupling (%d, %d) is used by %s but has no calibration entry"
+                    (fst key) (snd key) (gate_str g);
+                gate_span = Some (i, i);
+                fix_hint =
+                  Some
+                    "refresh the calibration snapshot or avoid the uncharacterized coupling";
+              }
+              :: !findings
+          end
+        | _ -> ())
+      (Circuit.gates ctx.circuit);
+    List.rev !findings
+
+(* QL003: any gate touching a wire after its measurement - the classical
+   outcome is already latched, so the gate is at best dead code and at
+   worst a misordered program. *)
+let check_gate_after_measure ctx =
+  let n = Circuit.num_qubits ctx.circuit in
+  let measured_at = Array.make n (-1) in
+  let findings = ref [] in
+  List.iteri
+    (fun i g ->
+      (match g with
+      | Gate.Barrier -> ()
+      | _ ->
+        List.iter
+          (fun q ->
+            if measured_at.(q) >= 0 then
+              findings :=
+                {
+                  rule = "QL003";
+                  severity = Error;
+                  message =
+                    Printf.sprintf "%s touches qubit %d after its measurement at gate %d"
+                      (gate_str g) q measured_at.(q);
+                  gate_span = Some (measured_at.(q), i);
+                  fix_hint = Some "move all measurements to the end of the circuit";
+                }
+                :: !findings)
+          (Gate.qubits g));
+      match g with Gate.Measure q -> if measured_at.(q) < 0 then measured_at.(q) <- i | _ -> ())
+    (Circuit.gates ctx.circuit);
+  List.rev !findings
+
+(* QL004: allocated but untouched qubits usually mean the register was
+   sized to the device rather than the problem. *)
+let check_idle_qubit ctx =
+  let used = Circuit.used_qubits ctx.circuit in
+  let findings = ref [] in
+  for q = Circuit.num_qubits ctx.circuit - 1 downto 0 do
+    if not (List.mem q used) then
+      findings :=
+        {
+          rule = "QL004";
+          severity = Info;
+          message = Printf.sprintf "qubit %d is allocated but never used" q;
+          gate_span = None;
+          fix_hint = Some "shrink the register to the qubits the program touches";
+        }
+        :: !findings
+  done;
+  !findings
+
+(* QL005: adjacent pairs the Optimize pass would cancel or merge -
+   evidence the circuit was emitted without (or after defeating) the
+   peephole pass. *)
+let check_redundant_adjacent ctx =
+  let gates = Array.of_list (Circuit.gates ctx.circuit) in
+  List.map
+    (fun (i, j) ->
+      {
+        rule = "QL005";
+        severity = Warn;
+        message =
+          Printf.sprintf "%s at gate %d cancels against or merges into %s at gate %d"
+            (gate_str gates.(j)) j (gate_str gates.(i)) i;
+        gate_span = Some (i, j);
+        fix_hint = Some "run the Optimize pass (or stop re-emitting the inverse pair)";
+      })
+    (Optimize.redundancies ctx.circuit)
+
+(* QL006: a SWAP followed on both wires only by measurements permutes
+   classical bits, not quantum state - it can be deleted and absorbed
+   into readout relabeling. *)
+let check_swap_sandwich ctx =
+  let gates = Array.of_list (Circuit.gates ctx.circuit) in
+  let absorbable i a b =
+    let ok = ref true in
+    for j = i + 1 to Array.length gates - 1 do
+      match gates.(j) with
+      | Gate.Barrier | Gate.Measure _ -> ()
+      | g ->
+        if List.exists (fun q -> q = a || q = b) (Gate.qubits g) then ok := false
+    done;
+    !ok
+  in
+  let findings = ref [] in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Gate.Swap (a, b) when absorbable i a b ->
+        findings :=
+          {
+            rule = "QL006";
+            severity = Warn;
+            message =
+              Printf.sprintf
+                "swap(%d, %d) is followed only by measurements on both wires" a b;
+            gate_span = Some (i, i);
+            fix_hint =
+              Some "delete the SWAP and relabel the measured bits (3 CNOTs saved)";
+          }
+          :: !findings
+      | _ -> ())
+    gates;
+  List.rev !findings
+
+(* QL007: decomposed critical path above the caller's depth budget. *)
+let check_depth ctx =
+  match ctx.max_depth with
+  | None -> []
+  | Some budget ->
+    let m = Metrics.of_circuit ctx.circuit in
+    if m.Metrics.depth <= budget then []
+    else
+      [
+        {
+          rule = "QL007";
+          severity = Warn;
+          message =
+            Printf.sprintf "decomposed depth %d exceeds the budget of %d"
+              m.Metrics.depth budget;
+          gate_span = None;
+          fix_hint =
+            Some
+              "raise the budget, lower the QAOA level, or pick a shallower compilation policy";
+        };
+      ]
+
+(* QL008: ESP-style gate-error success product below the caller's
+   threshold.  Uncalibrated couplings are scored at the worst recorded
+   rate (or the 0.5 clamp ceiling), mirroring Profile's pessimism, so a
+   stale snapshot degrades the estimate instead of raising. *)
+let check_success_prob ctx =
+  match (ctx.min_success_prob, ctx.device) with
+  | Some threshold, Some { Device.calibration = Some cal; _ } ->
+    let default =
+      match Calibration.edges cal with
+      | [] -> 0.5
+      | _ -> snd (Calibration.worst_edge cal)
+    in
+    let e1 = Calibration.single_qubit_error cal in
+    let log_p =
+      List.fold_left
+        (fun acc g ->
+          match g with
+          | Gate.Cnot (a, b) ->
+            acc +. log (1.0 -. Calibration.cnot_error_or ~default cal a b)
+          | Gate.Barrier | Gate.Measure _ -> acc
+          | _ -> acc +. log (1.0 -. e1))
+        0.0
+        (Circuit.gates (Decompose.circuit ctx.circuit))
+    in
+    let p = exp log_p in
+    if p >= threshold then []
+    else
+      [
+        {
+          rule = "QL008";
+          severity = Warn;
+          message =
+            Printf.sprintf
+              "estimated success probability %.3e is below the %.3e threshold" p
+              threshold;
+          gate_span = None;
+          fix_hint =
+            Some
+              "use a variation-aware policy (VIC) or reduce the two-qubit gate count";
+        };
+      ]
+  | _ -> []
+
+let builtin_rules =
+  [
+    {
+      id = "QL001";
+      name = "uncoupled-pair";
+      severity = Error;
+      roles = [ Compiled ];
+      check = check_uncoupled;
+    };
+    {
+      id = "QL002";
+      name = "missing-calibration";
+      severity = Warn;
+      roles = [ Compiled ];
+      check = check_missing_calibration;
+    };
+    {
+      id = "QL003";
+      name = "gate-after-measure";
+      severity = Error;
+      roles = [ Logical; Compiled ];
+      check = check_gate_after_measure;
+    };
+    {
+      id = "QL004";
+      name = "idle-qubit";
+      severity = Info;
+      roles = [ Logical ];
+      check = check_idle_qubit;
+    };
+    {
+      id = "QL005";
+      name = "redundant-adjacent";
+      severity = Warn;
+      roles = [ Logical; Compiled ];
+      check = check_redundant_adjacent;
+    };
+    {
+      id = "QL006";
+      name = "swap-sandwich";
+      severity = Warn;
+      roles = [ Compiled ];
+      check = check_swap_sandwich;
+    };
+    {
+      id = "QL007";
+      name = "depth-exceeded";
+      severity = Warn;
+      roles = [ Logical; Compiled ];
+      check = check_depth;
+    };
+    {
+      id = "QL008";
+      name = "low-success-prob";
+      severity = Warn;
+      roles = [ Compiled ];
+      check = check_success_prob;
+    };
+  ]
+
+let custom_rules : rule list ref = ref []
+
+let rules () = builtin_rules @ List.rev !custom_rules
+
+let register r =
+  if List.exists (fun r' -> r'.id = r.id) (rules ()) then
+    invalid_arg (Printf.sprintf "Lint.register: duplicate rule id %s" r.id);
+  custom_rules := r :: !custom_rules
+
+let run ?rules:rs ctx =
+  let rs = match rs with Some rs -> rs | None -> rules () in
+  Trace.with_span "analysis.lint.run"
+    ~attrs:
+      [
+        ("role", Trace.str (match ctx.role with Logical -> "logical" | Compiled -> "compiled"));
+        ("gates", Trace.int (Circuit.length ctx.circuit));
+        ("rules", Trace.int (List.length rs));
+      ]
+  @@ fun () ->
+  let findings =
+    List.concat_map
+      (fun r -> if List.mem ctx.role r.roles then r.check ctx else [])
+      rs
+  in
+  List.iter
+    (fun (f : finding) ->
+      Metrics_registry.incr
+        ("lint.findings." ^ String.lowercase_ascii (severity_name f.severity)))
+    findings;
+  Trace.add_attr "findings" (Trace.int (List.length findings));
+  findings
+
+let max_severity (findings : finding list) =
+  List.fold_left
+    (fun acc (f : finding) ->
+      match acc with
+      | None -> Some f.severity
+      | Some s -> Some (if severity_compare f.severity s > 0 then f.severity else s))
+    None findings
+
+let count sev (findings : finding list) =
+  List.length (List.filter (fun (f : finding) -> f.severity = sev) findings)
+
+let exit_code ?(deny = Error) (findings : finding list) =
+  if List.exists (fun (f : finding) -> f.severity = Error) findings then 2
+  else if
+    List.exists (fun (f : finding) -> severity_compare f.severity deny >= 0) findings
+  then 1
+  else 0
+
+(* ---------------------------------------------------------------- *)
+(* Reporters                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let to_text findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      let where =
+        match f.gate_span with
+        | None -> ""
+        | Some (i, j) when i = j -> Printf.sprintf " [gate %d]" i
+        | Some (i, j) -> Printf.sprintf " [gates %d-%d]" i j
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-5s %s%s: %s\n" (severity_name f.severity) f.rule where
+           f.message);
+      Option.iter
+        (fun h -> Buffer.add_string buf (Printf.sprintf "      fix: %s\n" h))
+        f.fix_hint)
+    findings;
+  Buffer.add_string buf
+    (Printf.sprintf "%d error(s), %d warning(s), %d info(s)\n" (count Error findings)
+       (count Warn findings) (count Info findings));
+  Buffer.contents buf
+
+let finding_to_json f =
+  Json.Assoc
+    [
+      ("rule", Json.String f.rule);
+      ("severity", Json.String (severity_name f.severity));
+      ("message", Json.String f.message);
+      ( "gate_span",
+        match f.gate_span with
+        | None -> Json.Null
+        | Some (i, j) -> Json.List [ Json.Int i; Json.Int j ] );
+      ( "fix_hint",
+        match f.fix_hint with None -> Json.Null | Some h -> Json.String h );
+    ]
+
+let report_to_json findings =
+  Json.Assoc
+    [
+      ("version", Json.Int 1);
+      ("findings", Json.List (List.map finding_to_json findings));
+      ( "summary",
+        Json.Assoc
+          [
+            ("error", Json.Int (count Error findings));
+            ("warn", Json.Int (count Warn findings));
+            ("info", Json.Int (count Info findings));
+            ( "max_severity",
+              match max_severity findings with
+              | None -> Json.Null
+              | Some s -> Json.String (severity_name s) );
+          ] );
+    ]
+
+let finding_of_json j =
+  let str key =
+    match Json.member key j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Result.Error (Printf.sprintf "finding is missing string field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* rule = str "rule" in
+  let* sev_name = str "severity" in
+  let* severity =
+    match severity_of_string sev_name with
+    | Some s -> Ok s
+    | None -> Result.Error (Printf.sprintf "unknown severity %S" sev_name)
+  in
+  let* message = str "message" in
+  let* gate_span =
+    match Json.member "gate_span" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.List [ Json.Int i; Json.Int j ]) -> Ok (Some (i, j))
+    | Some _ -> Result.Error "gate_span must be null or a two-int array"
+  in
+  let* fix_hint =
+    match Json.member "fix_hint" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.String h) -> Ok (Some h)
+    | Some _ -> Result.Error "fix_hint must be null or a string"
+  in
+  Ok { rule; severity; message; gate_span; fix_hint }
+
+let report_of_json j =
+  match Json.member "version" j with
+  | Some (Json.Int 1) -> (
+    match Json.member "findings" j with
+    | Some (Json.List fs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+          match finding_of_json f with
+          | Ok f -> go (f :: acc) rest
+          | Error _ as e -> e)
+      in
+      go [] fs
+    | _ -> Result.Error "report has no findings array")
+  | None -> Result.Error "report has no version field"
+  | Some _ -> Result.Error "unsupported report version"

@@ -1,0 +1,414 @@
+module Gate = Qaoa_circuit.Gate
+module Circuit = Qaoa_circuit.Circuit
+module Trace = Qaoa_obs.Trace
+module Metrics_registry = Qaoa_obs.Metrics_registry
+
+let two_pi = 2.0 *. Float.pi
+
+(* Normalize into [0, 2 pi). *)
+let norm_angle a =
+  let r = Float.rem a two_pi in
+  if r < 0.0 then r +. two_pi else r
+
+(* Circular distance between two angles. *)
+let angle_dist a b =
+  let d = Float.abs (norm_angle a -. norm_angle b) in
+  Float.min d (two_pi -. d)
+
+type kind = Linear | Nonlinear | Ignored
+
+let kind_of_gate = function
+  | Gate.Cnot _ | Gate.Swap _ | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.Rz _
+  | Gate.Phase _ | Gate.Cphase _ ->
+    Linear
+  | Gate.H _ | Gate.Rx _ | Gate.Ry _ -> Nonlinear
+  | Gate.Barrier | Gate.Measure _ -> Ignored
+
+type term = { parity : string; angle : float }
+
+type segment = {
+  terms : term list;
+  outputs : (string * bool) array;
+}
+
+type block = (int * Gate.t) list
+
+type summary = {
+  num_qubits : int;
+  segments : segment list;
+  blocks : block list;
+}
+
+let pp_parity key =
+  let parts = ref [] in
+  String.iteri
+    (fun i c -> if c = '\001' then parts := Printf.sprintf "x%d" i :: !parts)
+    key;
+  match List.rev !parts with [] -> "1" | ps -> String.concat "^" ps
+
+(* ---------------------------------------------------------------- *)
+(* Abstract state of one linear segment                             *)
+(* ---------------------------------------------------------------- *)
+
+type state = {
+  n : int;
+  parities : Bytes.t array;  (** row [q]: input-wire XOR membership *)
+  consts : Bytes.t;  (** affine complement bit per wire *)
+  phases : (string, float) Hashtbl.t;  (** nonzero parity -> angle *)
+  mutable global : float;  (** tracked for completeness, never compared *)
+}
+
+let init n =
+  {
+    n;
+    parities =
+      Array.init n (fun q ->
+          let b = Bytes.make n '\000' in
+          Bytes.set b q '\001';
+          b);
+    consts = Bytes.make n '\000';
+    phases = Hashtbl.create 32;
+    global = 0.0;
+  }
+
+let xor_into dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let const st q = Bytes.get st.consts q = '\001'
+
+let flip_const st q =
+  Bytes.set st.consts q (if const st q then '\000' else '\001')
+
+let is_zero_mask key =
+  let rec go i = i >= String.length key || (key.[i] = '\000' && go (i + 1)) in
+  go 0
+
+(* The rotation observes the wire value [p ^ c]: with [c = 0] the angle
+   lands on the parity term; with [c = 1], e^{i th (1 ^ p)} =
+   e^{i th} e^{-i th p}, so the angle flips sign and e^{i th} joins the
+   global phase. *)
+let add_phase st mask complemented theta =
+  let theta =
+    if complemented then begin
+      st.global <- st.global +. theta;
+      -.theta
+    end
+    else theta
+  in
+  let key = Bytes.to_string mask in
+  if not (is_zero_mask key) then
+    Hashtbl.replace st.phases key
+      (theta +. Option.value ~default:0.0 (Hashtbl.find_opt st.phases key))
+
+let rec apply st g =
+  match g with
+  | Gate.Cnot (c, t) ->
+    xor_into st.parities.(t) st.parities.(c);
+    if const st c then flip_const st t
+  | Gate.Swap (a, b) ->
+    let row = st.parities.(a) in
+    st.parities.(a) <- st.parities.(b);
+    st.parities.(b) <- row;
+    let ca = const st a and cb = const st b in
+    Bytes.set st.consts a (if cb then '\001' else '\000');
+    Bytes.set st.consts b (if ca then '\001' else '\000')
+  | Gate.X q -> flip_const st q
+  | Gate.Z q -> add_phase st st.parities.(q) (const st q) Float.pi
+  | Gate.Phase (q, th) -> add_phase st st.parities.(q) (const st q) th
+  | Gate.Rz (q, th) ->
+    (* RZ(th) = e^{-i th/2} diag(1, e^{i th}) *)
+    st.global <- st.global -. (th /. 2.0);
+    add_phase st st.parities.(q) (const st q) th
+  | Gate.Cphase (a, b, th) ->
+    (* exp(-i th/2 Z(x)Z) = e^{-i th/2} up to a phase th on the parity
+       f_a ^ f_b (the ZZ eigenvalue is (-1)^{f_a ^ f_b}). *)
+    let mask = Bytes.copy st.parities.(a) in
+    xor_into mask st.parities.(b);
+    st.global <- st.global -. (th /. 2.0);
+    add_phase st mask (const st a <> const st b) th
+  | Gate.Y q ->
+    (* Y = i X Z: Z first, then X, plus a global pi/2. *)
+    st.global <- st.global +. (Float.pi /. 2.0);
+    apply st (Gate.Z q);
+    apply st (Gate.X q)
+  | Gate.Barrier | Gate.Measure _ -> ()
+  | Gate.H _ | Gate.Rx _ | Gate.Ry _ ->
+    invalid_arg "Phase_poly.apply: non-linear gate"
+
+let canon ?(eps = 1e-9) st =
+  let terms =
+    Hashtbl.fold
+      (fun parity angle acc ->
+        if angle_dist angle 0.0 < eps then acc
+        else { parity; angle = norm_angle angle } :: acc)
+      st.phases []
+    |> List.sort (fun a b -> compare a.parity b.parity)
+  in
+  let outputs =
+    Array.init st.n (fun q -> (Bytes.to_string st.parities.(q), const st q))
+  in
+  { terms; outputs }
+
+(* ---------------------------------------------------------------- *)
+(* Segmentation                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Canonical, reorder-invariant segmentation.  Every gate is placed by
+   its {e wire phase} - the number of non-linear gates already seen on
+   its own wires - which no reordering of commuting gates can change
+   (per-wire gate order is preserved by any legal schedule, and two
+   orders with the same per-wire sequences are connected by
+   transpositions of wire-disjoint gates).  The scheme applies whenever
+   every linear gate touches wires at one common phase: true for QAOA
+   pipeline circuits under any schedule the router/scheduler emits.
+   Returns [None] when a linear gate straddles two phases (e.g.
+   [H 0; CNOT (0, 1)]); such circuits use the sequential fallback. *)
+let summarize_canonical ?eps circuit =
+  let n = Circuit.num_qubits circuit in
+  let phase = Array.make n 0 in
+  let blocks_tbl : (int, (int * Gate.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let segs_tbl : (int, Gate.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push tbl k v =
+    let r =
+      match Hashtbl.find_opt tbl k with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add tbl k r;
+        r
+    in
+    r := v :: !r
+  in
+  let aligned = ref true in
+  List.iter
+    (fun g ->
+      if !aligned then
+        match kind_of_gate g with
+        | Ignored -> ()
+        | Nonlinear ->
+          let q = List.hd (Gate.qubits g) in
+          push blocks_tbl phase.(q) (q, g);
+          phase.(q) <- phase.(q) + 1
+        | Linear -> (
+          match Gate.qubits g with
+          | [] -> ()
+          | q0 :: rest ->
+            if List.for_all (fun q -> phase.(q) = phase.(q0)) rest then
+              push segs_tbl phase.(q0) g
+            else aligned := false))
+    (Circuit.gates circuit);
+  if not !aligned then None
+  else begin
+    let depth = Array.fold_left max 0 phase in
+    let segments =
+      List.init (depth + 1) (fun k ->
+          let st = init n in
+          (match Hashtbl.find_opt segs_tbl k with
+          | Some r -> List.iter (apply st) (List.rev !r)
+          | None -> ());
+          canon ?eps st)
+    in
+    let blocks =
+      List.init depth (fun k ->
+          match Hashtbl.find_opt blocks_tbl k with
+          | Some r -> List.sort compare !r
+          | None -> [])
+    in
+    Some { num_qubits = n; segments; blocks }
+  end
+
+(* Order-sensitive fallback: cut a new segment at every non-linear
+   boundary block exactly as the gates appear.  Total on every circuit,
+   but two schedules of the same circuit may segment differently. *)
+let summarize_sequential ?eps circuit =
+  let n = Circuit.num_qubits circuit in
+  let segments = ref [] and blocks = ref [] in
+  let st = ref (init n) in
+  let cur_block = ref [] in
+  let in_block = ref false in
+  let close_segment () =
+    segments := canon ?eps !st :: !segments;
+    st := init n
+  in
+  let close_block () =
+    blocks := List.sort compare !cur_block :: !blocks;
+    cur_block := [];
+    in_block := false
+  in
+  List.iter
+    (fun g ->
+      match kind_of_gate g with
+      | Ignored -> ()
+      | Linear ->
+        if !in_block then close_block ();
+        apply !st g
+      | Nonlinear ->
+        let q = List.hd (Gate.qubits g) in
+        if !in_block && List.mem_assoc q !cur_block then close_block ();
+        if not !in_block then begin
+          close_segment ();
+          in_block := true
+        end;
+        cur_block := (q, g) :: !cur_block)
+    (Circuit.gates circuit);
+  if !in_block then close_block ();
+  close_segment ();
+  {
+    num_qubits = n;
+    segments = List.rev !segments;
+    blocks = List.rev !blocks;
+  }
+
+let summarize ?eps circuit =
+  match summarize_canonical ?eps circuit with
+  | Some s -> s
+  | None -> summarize_sequential ?eps circuit
+
+(* ---------------------------------------------------------------- *)
+(* Comparison                                                       *)
+(* ---------------------------------------------------------------- *)
+
+type verdict =
+  | Equivalent
+  | Inequivalent of { segment : int; detail : string }
+  | Inconclusive of string
+
+let verdict_to_string = function
+  | Equivalent -> "equivalent (up to global phase)"
+  | Inequivalent { segment; detail } ->
+    Printf.sprintf "inequivalent at segment %d: %s" segment detail
+  | Inconclusive reason -> "inconclusive: " ^ reason
+
+(* Non-linear block gates compare with angle tolerance: RX(th) and
+   RX(th + 2 pi) differ by a global phase only. *)
+let nonlinear_equal eps a b =
+  match (a, b) with
+  | Gate.H p, Gate.H q -> p = q
+  | Gate.Rx (p, x), Gate.Rx (q, y) | Gate.Ry (p, x), Gate.Ry (q, y) ->
+    p = q && angle_dist x y < eps
+  | _ -> false
+
+let segment_diff eps (a : segment) (b : segment) =
+  let out = ref None in
+  Array.iteri
+    (fun q (mask, c) ->
+      if !out = None then
+        let mask', c' = b.outputs.(q) in
+        if mask <> mask' || c <> c' then
+          out :=
+            Some
+              (Printf.sprintf
+                 "output wire %d computes %s%s on one side, %s%s on the other"
+                 q (pp_parity mask)
+                 (if c then "^1" else "")
+                 (pp_parity mask')
+                 (if c' then "^1" else "")))
+    a.outputs;
+  match !out with
+  | Some _ as d -> d
+  | None ->
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun t -> Hashtbl.replace tbl t.parity t.angle) b.terms;
+    let diff = ref None in
+    List.iter
+      (fun t ->
+        if !diff = None then begin
+          let other = Option.value ~default:0.0 (Hashtbl.find_opt tbl t.parity) in
+          Hashtbl.remove tbl t.parity;
+          if angle_dist t.angle other >= eps then
+            diff :=
+              Some
+                (Printf.sprintf
+                   "phase term on parity %s: %.6f rad vs %.6f rad"
+                   (pp_parity t.parity) t.angle other)
+        end)
+      a.terms;
+    if !diff = None then
+      (* terms present only on the right-hand side *)
+      Hashtbl.iter
+        (fun parity angle ->
+          if !diff = None && angle_dist angle 0.0 >= eps then
+            diff :=
+              Some
+                (Printf.sprintf
+                   "phase term on parity %s: 0.000000 rad vs %.6f rad"
+                   (pp_parity parity) angle))
+        tbl;
+    !diff
+
+let block_diff eps i (a : block) (b : block) =
+  if List.length a <> List.length b then
+    Some
+      (Printf.sprintf "non-linear block %d has %d gate(s) vs %d" i
+         (List.length a) (List.length b))
+  else
+    List.fold_left2
+      (fun acc (qa, ga) (qb, gb) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if qa <> qb || not (nonlinear_equal eps ga gb) then
+            Some
+              (Format.asprintf "non-linear block %d differs: %a vs %a" i
+                 Gate.pp ga Gate.pp gb)
+          else None)
+      None a b
+
+let equal_up_to_global_phase ?(eps = 1e-9) left right =
+  Trace.with_span "analysis.phase_poly.equal"
+    ~attrs:
+      [
+        ("num_qubits", Trace.int (Circuit.num_qubits left));
+        ("left_gates", Trace.int (Circuit.length left));
+        ("right_gates", Trace.int (Circuit.length right));
+      ]
+  @@ fun () ->
+  Metrics_registry.incr "analysis.phase_poly.compares";
+  if Circuit.num_qubits left <> Circuit.num_qubits right then
+    Inconclusive
+      (Printf.sprintf "register widths differ (%d vs %d qubits)"
+         (Circuit.num_qubits left) (Circuit.num_qubits right))
+  else begin
+    (* compare canonical forms when both sides admit one; otherwise both
+       fall back to sequential segmentation (mixing the two would
+       misreport skeleton mismatches) *)
+    let a, b =
+      match
+        (summarize_canonical ~eps left, summarize_canonical ~eps right)
+      with
+      | Some a, Some b -> (a, b)
+      | _ -> (summarize_sequential ~eps left, summarize_sequential ~eps right)
+    in
+    if List.length a.blocks <> List.length b.blocks then
+      Inconclusive
+        (Printf.sprintf
+           "non-linear skeletons differ (%d vs %d boundary blocks)"
+           (List.length a.blocks) (List.length b.blocks))
+    else begin
+      let skeleton = ref None in
+      List.iteri
+        (fun i (ba, bb) ->
+          if !skeleton = None then skeleton := block_diff eps i ba bb)
+        (List.combine a.blocks b.blocks);
+      match !skeleton with
+      | Some reason -> Inconclusive reason
+      | None ->
+        let verdict = ref Equivalent in
+        List.iteri
+          (fun i (sa, sb) ->
+            if !verdict = Equivalent then
+              match segment_diff eps sa sb with
+              | Some detail -> verdict := Inequivalent { segment = i; detail }
+              | None -> ())
+          (List.combine a.segments b.segments);
+        (match !verdict with
+        | Equivalent -> ()
+        | _ -> Metrics_registry.incr "analysis.phase_poly.mismatches");
+        !verdict
+    end
+  end

@@ -1,0 +1,98 @@
+(** Phase-polynomial abstract interpretation of the linear gate fragment.
+
+    QAOA cost layers are built entirely from {e linear} gates - CNOT,
+    SWAP, X (affine bit flips) and the Z-diagonal rotations RZ, U1/Phase,
+    Z, CPHASE (plus Y = iXZ).  A circuit segment over that fragment has
+    an exact, execution-free canonical form:
+
+    - every wire [q] carries an affine parity [x_{i1} ^ ... ^ x_{ik} ^ c]
+      of the segment's {e input} wires;
+    - every diagonal rotation contributes its angle to the phase
+      polynomial: a map from the parity it observes at application time
+      to an accumulated angle (mod 2 pi), constants folded into a global
+      phase;
+    - the segment ends in an affine output permutation (the per-wire
+      parities).
+
+    Two segments are equal as unitaries up to global phase iff their
+    canonical forms agree - at {e any} qubit count, in polynomial time,
+    with no statevector.  Whole circuits are compared by segmenting at
+    non-linear gates (H, RX, RY): linear segments alternate with
+    {e blocks} of non-linear gates, and the circuits are equivalent when
+    the block skeletons match and every corresponding segment
+    canonicalizes identically.
+
+    Segmentation is {e canonical}: every gate is placed by its wire
+    phase - the number of non-linear gates already seen on its own
+    wires - which no reordering of commuting gates can change.  Two
+    schedules of the same pipeline circuit therefore segment
+    identically, even when the scheduler interleaves one wire's
+    Hadamard with another wire's cost gates.  Circuits where a linear
+    gate straddles two wire phases (e.g. [H 0; CNOT (0, 1)]) fall back
+    to order-sensitive sequential segmentation on both sides of a
+    comparison; skeletons that still do not line up get an honest
+    {!Inconclusive} verdict instead of a guess.
+
+    [Barrier] and [Measure] are semantic no-ops here, exactly as in the
+    statevector simulator. *)
+
+type kind = Linear | Nonlinear | Ignored
+
+val kind_of_gate : Qaoa_circuit.Gate.t -> kind
+(** [Linear]: CNOT, SWAP, X, Y, Z, RZ, U1, CPHASE. [Nonlinear]: H, RX,
+    RY (segment boundaries). [Ignored]: Barrier, Measure. *)
+
+type term = {
+  parity : string;
+      (** parity-set key: byte [i] is ['\001'] iff input wire [i] is in
+          the XOR (use {!pp_parity} to render) *)
+  angle : float;  (** accumulated phase, normalized into (0, 2 pi) *)
+}
+
+type segment = {
+  terms : term list;  (** sorted by parity key; near-zero angles pruned *)
+  outputs : (string * bool) array;
+      (** per output wire: (input-parity key, complemented) *)
+}
+
+type block = (int * Qaoa_circuit.Gate.t) list
+(** One non-linear boundary: (qubit, gate) on pairwise-distinct qubits,
+    sorted by qubit. *)
+
+type summary = {
+  num_qubits : int;
+  segments : segment list;  (** always [List.length blocks + 1] entries *)
+  blocks : block list;
+}
+
+val pp_parity : string -> string
+(** ["x1^x4"] rendering of a parity key (["1"] for the empty parity). *)
+
+val summarize : ?eps:float -> Qaoa_circuit.Circuit.t -> summary
+(** Canonicalize a whole circuit: segment at non-linear gates, reduce
+    every linear segment to its canonical form.  [eps] (default 1e-9)
+    prunes phase terms whose angle is 0 mod 2 pi.  Total on every
+    circuit. *)
+
+type verdict =
+  | Equivalent  (** equal as unitaries up to global phase *)
+  | Inequivalent of { segment : int; detail : string }
+      (** first divergent linear segment (0-based, in skeleton order)
+          and a human-readable witness: a differing output parity or
+          phase term *)
+  | Inconclusive of string
+      (** the non-linear skeletons do not align, so segment-wise
+          comparison does not apply (the reason names the first
+          mismatch) *)
+
+val verdict_to_string : verdict -> string
+
+val equal_up_to_global_phase :
+  ?eps:float -> Qaoa_circuit.Circuit.t -> Qaoa_circuit.Circuit.t -> verdict
+(** Compare two circuits on the same register.  [eps] (default 1e-9)
+    bounds the tolerated angular drift per phase term (circular
+    distance).  Purely-linear circuits (QAOA cost layers, routed
+    CNOT+RZ/CPHASE segments) always get a definite verdict; [H]/[RX]/
+    [RY] circuits get one whenever the skeletons align - which they do
+    for every reordering the compilation pipeline is allowed to
+    perform. *)

@@ -70,6 +70,44 @@ let kill buf i qs =
   buf.gates.(i) <- None;
   List.iter (recompute_last buf) qs
 
+(* Z-basis-diagonal gates all commute with each other, whatever qubits
+   they share. *)
+let is_diagonal = function
+  | Gate.Z _ | Gate.Rz _ | Gate.Phase _ | Gate.Cphase _ -> true
+  | _ -> false
+
+(* Index of the nearest earlier live gate [g] can merge with.  The plain
+   notion of adjacency requires every qubit of [g] to last see the same
+   gate, on exactly the same qubit set.  A diagonal [g] may additionally
+   look {e through} earlier diagonal gates on overlapping qubits (they
+   commute), so [cphase(a,b); rz(a); cphase(a,b)] merges. *)
+let merge_partner buf g qs =
+  let sorted_qs = List.sort compare qs in
+  let combinable prev =
+    List.sort compare (Gate.qubits prev) = sorted_qs && combine prev g <> Keep
+  in
+  if is_diagonal g then
+    let rec scan j =
+      if j < 0 then None
+      else
+        match buf.gates.(j) with
+        | None -> scan (j - 1)
+        | Some Gate.Barrier -> None
+        | Some prev ->
+          if combinable prev then Some j
+          else if List.exists (fun q -> List.mem q qs) (Gate.qubits prev) then
+            if is_diagonal prev then scan (j - 1) else None
+          else scan (j - 1)
+    in
+    scan (buf.len - 1)
+  else
+    match List.map (fun q -> buf.last.(q)) qs with
+    | i :: rest when i >= 0 && List.for_all (fun j -> j = i) rest -> (
+      match buf.gates.(i) with
+      | Some prev when combinable prev -> Some i
+      | _ -> None)
+    | _ -> None
+
 let rec insert buf g =
   if is_identity g then ()
   else
@@ -79,20 +117,15 @@ let rec insert buf g =
       push buf g;
       fence buf (buf.len - 1)
     | qs -> (
-      let anchors = List.map (fun q -> buf.last.(q)) qs in
-      match anchors with
-      | i :: rest when i >= 0 && List.for_all (fun j -> j = i) rest -> (
-        match buf.gates.(i) with
-        | Some prev when List.sort compare (Gate.qubits prev) = List.sort compare qs
-          -> (
-          match combine prev g with
-          | Cancel -> kill buf i qs
-          | Replace merged ->
-            kill buf i qs;
-            insert buf merged
-          | Keep -> push buf g)
-        | _ -> push buf g)
-      | _ -> push buf g)
+      match merge_partner buf g qs with
+      | Some i -> (
+        match combine (Option.get buf.gates.(i)) g with
+        | Cancel -> kill buf i qs
+        | Replace merged ->
+          kill buf i qs;
+          insert buf merged
+        | Keep -> assert false)
+      | None -> push buf g)
 
 let one_pass circuit =
   let n = Circuit.num_qubits circuit in
@@ -103,6 +136,40 @@ let one_pass circuit =
     match buf.gates.(i) with Some g -> out := g :: !out | None -> ()
   done;
   Circuit.of_gates n !out
+
+(* First-order redundancy locations, for the lint engine: pairs of gate
+   indices (i, j) with i < j where gate j could cancel against or merge
+   into gate i under exactly the adjacency notion [insert] uses
+   (including the diagonal look-through), without rewriting anything. *)
+let redundancies circuit =
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let found = ref [] in
+  Array.iteri
+    (fun j g ->
+      match Gate.qubits g with
+      | [] -> ()
+      | qs ->
+        let sorted_qs = List.sort compare qs in
+        let combinable prev =
+          List.sort compare (Gate.qubits prev) = sorted_qs
+          && combine prev g <> Keep
+        in
+        let diagonal = is_diagonal g in
+        let rec scan i =
+          if i >= 0 then
+            match gates.(i) with
+            | Gate.Barrier -> ()
+            | prev ->
+              if combinable prev then found := (i, j) :: !found
+              else if List.exists (fun q -> List.mem q qs) (Gate.qubits prev)
+              then begin
+                if diagonal && is_diagonal prev then scan (i - 1)
+              end
+              else scan (i - 1)
+        in
+        scan (j - 1))
+    gates;
+  List.rev !found
 
 type stats = { gates_before : int; gates_after : int; passes : int }
 

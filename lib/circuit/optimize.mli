@@ -10,7 +10,11 @@
     - rotations about the same axis merge: RX+RX, RY+RY, RZ+RZ, U1+U1,
       CPHASE+CPHASE (either qubit order - the gate is symmetric);
     - rotations whose angle is 0 (mod 2 pi) are dropped (a 2 pi rotation
-      is a global phase).
+      is a global phase);
+    - Z-basis-diagonal gates (Z, RZ, U1, CPHASE) additionally commute
+      through earlier diagonal gates on overlapping qubits when looking
+      for a partner, so [cphase(a,b); rz(a); cphase(a,b)] merges into
+      [rz(a); cphase(a,b)].
 
     All rewrites preserve the circuit semantics up to global phase
     (property-tested).  The pass pays off most after routing and
@@ -19,6 +23,13 @@
 
 val circuit : Circuit.t -> Circuit.t
 (** Optimize to a fixpoint.  Never increases the gate count. *)
+
+val redundancies : Circuit.t -> (int * int) list
+(** First-order redundancy witnesses without rewriting: pairs [(i, j)]
+    with [i < j] where gate [j] would cancel against or merge into gate
+    [i] under the pass's adjacency notion (including the diagonal
+    look-through).  Empty on a fixpoint of {!circuit}.  The lint engine
+    uses this to locate "pair survives Optimize" findings. *)
 
 type stats = { gates_before : int; gates_after : int; passes : int }
 

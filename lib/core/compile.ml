@@ -50,6 +50,7 @@ type options = {
   measure : bool;
   peephole : bool;
   verify : bool;
+  lint : bool;
   deadline_s : float option;
   router : Router.config;
   qaim : Qaim.config;
@@ -61,6 +62,7 @@ let default_options =
     measure = true;
     peephole = false;
     verify = false;
+    lint = false;
     deadline_s = None;
     router = Router.default_config;
     qaim = Qaim.default_config;
@@ -134,6 +136,7 @@ type result = {
   compile_cpu_s : float;
   phase_times : phase_time list;
   metrics : Metrics.t;
+  lint_findings : Qaoa_analysis.Lint.finding list;
 }
 
 let phase_wall result name =
@@ -266,6 +269,14 @@ let compile ?(options = default_options) ~strategy device problem params =
   let metrics =
     timed "metrics" (fun () -> Metrics.of_circuit routed.Router.circuit)
   in
+  let lint_findings =
+    if not options.lint then []
+    else
+      timed "lint" (fun () ->
+          Qaoa_analysis.Lint.run
+            (Qaoa_analysis.Lint.context ~device ~role:Qaoa_analysis.Lint.Compiled
+               routed.Router.circuit))
+  in
   let compile_wall_s = Clock.wall () -. w0 in
   let compile_cpu_s = Clock.cpu () -. c0 in
   {
@@ -279,6 +290,7 @@ let compile ?(options = default_options) ~strategy device problem params =
     compile_cpu_s;
     phase_times = List.rev !phases;
     metrics;
+    lint_findings;
   }
   with
   | Router.Unroutable detail -> raise_error (Unroutable { strategy; detail })

@@ -38,6 +38,13 @@ type options = {
           auto-skip past
           {!Qaoa_verify.Check.default_max_semantic_qubits} qubits;
           default false) *)
+  lint : bool;
+      (** run the {!Qaoa_analysis.Lint} rules on the compiled circuit
+          (role [Compiled], against the target device) and record the
+          findings in [result.lint_findings]; accounted as the ["lint"]
+          phase in the per-phase breakdown.  Findings never fail the
+          compile - callers decide (the CLI's [--lint] exits non-zero on
+          ERROR findings; default false) *)
   deadline_s : float option;
       (** wall-clock budget for one compile; the routing loops poll it
           cooperatively, surfacing {!Error} [(Deadline_exceeded _)] at
@@ -92,9 +99,10 @@ val error_to_string : error -> string
 type phase_time = {
   phase : string;
       (** ["mapping"], ["ordering"], ["routing"], ["verify"] (only with
-          [options.verify]), ["decomposition"] or ["metrics"]; for
-          IC/VIC, ordering is interleaved with routing inside
-          [Ic.compile] and is accounted under ["routing"] *)
+          [options.verify]), ["decomposition"], ["metrics"] or ["lint"]
+          (only with [options.lint]); for IC/VIC, ordering is
+          interleaved with routing inside [Ic.compile] and is accounted
+          under ["routing"] *)
   wall_s : float;
   cpu_s : float;
 }
@@ -115,6 +123,8 @@ type result = {
       (** per-phase breakdown in execution order; the wall times sum to
           the whole of [compile_wall_s] except a few clock reads *)
   metrics : Qaoa_circuit.Metrics.t;  (** of the decomposed circuit *)
+  lint_findings : Qaoa_analysis.Lint.finding list;
+      (** findings of the ["lint"] phase; [[]] unless [options.lint] *)
 }
 
 val phase_wall : result -> string -> float

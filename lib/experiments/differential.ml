@@ -86,12 +86,38 @@ let run_case ?max_semantic_qubits case =
   let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   (* 1. translation validation *)
   let logical = Ansatz.circuit ~measure:true problem params in
-  let report =
-    Check.validate ?max_semantic_qubits ~device ~initial:r.Compile.initial_mapping
+  let check_options =
+    let d = Check.default_options () in
+    match max_semantic_qubits with
+    | None -> d
+    | Some n -> { d with Check.max_semantic_qubits = n }
+  in
+  let validate options =
+    Check.validate ~options ~device ~initial:r.Compile.initial_mapping
       ~final:r.Compile.final_mapping ~swap_count:r.Compile.swap_count ~logical
       r.Compile.circuit
   in
+  let report = validate check_options in
   if not (Check.ok report) then fail "verify: %s" (Check.report_to_string report);
+  (* 1b. oracle cross-check: whenever the statevector oracle delivered a
+     verdict, the phase-polynomial canonicalizer must deliver the same
+     one - this is the small-n differential test backing the large-n
+     semantic verdicts. *)
+  (match report.Check.semantic with
+  | Check.Checked { method_ = Check.Statevector; _ } -> (
+    let pp_report =
+      validate { check_options with Check.oracle = Check.Phase_poly_only }
+    in
+    match pp_report.Check.semantic with
+    | Check.Checked { method_ = Check.Phase_polynomial; _ } ->
+      if Check.ok report <> Check.ok pp_report then
+        fail
+          "oracle disagreement: statevector says %s but phase polynomial \
+           says %s"
+          (if Check.ok report then "equivalent" else "inequivalent")
+          (if Check.ok pp_report then "equivalent" else "inequivalent")
+    | _ -> ())
+  | _ -> ());
   (* 2. metric accounting: the result record vs the circuit itself *)
   let gates = Circuit.gates r.Compile.circuit in
   let count p = List.length (List.filter p gates) in
@@ -135,6 +161,27 @@ let run_case ?max_semantic_qubits case =
   match !problems with
   | [] -> None
   | ps -> Some (String.concat "; " (List.rev ps))
+
+(* Failure-report artifact: recompile the (shrunk) case and print the
+   compiled circuit as OpenQASM, so a fuzz failure is actionable without
+   re-running the sweep.  Guarded: a case that crashes during compile
+   has no circuit to show. *)
+let repro case =
+  try
+    let device = device_of_topology case.topology in
+    let rng = Rng.create case.seed in
+    let problem =
+      List.hd (Workload.problems rng case.kind ~n:case.nodes ~count:1)
+    in
+    let params = params_of_p case.p in
+    let options = { Compile.default_options with seed = case.seed } in
+    let r =
+      Compile.compile ~options ~strategy:case.strategy device problem params
+    in
+    Some
+      (Printf.sprintf "// %s\n%s" (case_name case)
+         (Qaoa_circuit.Qasm.to_string r.Compile.circuit))
+  with _ -> None
 
 let shrink case =
   let smaller =

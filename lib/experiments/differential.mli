@@ -43,7 +43,17 @@ val device_of_topology : string -> Qaoa_hardware.Device.t
 
 val run_case : ?max_semantic_qubits:int -> case -> string option
 (** Compile and cross-check one case; [None] on agreement, [Some detail]
-    otherwise. *)
+    otherwise.  Whenever the statevector oracle delivers a semantic
+    verdict, the case is re-validated with the phase-polynomial oracle
+    and any disagreement between the two verdicts is itself a failure -
+    the small-register differential evidence backing the canonicalizer's
+    large-register verdicts. *)
+
+val repro : case -> string option
+(** Recompile the case and render its compiled circuit as OpenQASM 2.0
+    (with a [//] header naming the case) - the [case_repro] argument the
+    CLI passes to {!Qaoa_verify.Fuzz.pp_stats} so failure reports carry a
+    standalone reproducer.  [None] when the compile itself raises. *)
 
 val shrink : case -> case list
 (** Smaller-first candidates: fewer graph nodes (parity-corrected for

@@ -4,6 +4,7 @@ module Layering = Qaoa_circuit.Layering
 module Device = Qaoa_hardware.Device
 module Mapping = Qaoa_backend.Mapping
 module Statevector = Qaoa_sim.Statevector
+module Phase_poly = Qaoa_analysis.Phase_poly
 module Trace = Qaoa_obs.Trace
 module Metrics_registry = Qaoa_obs.Metrics_registry
 
@@ -26,11 +27,37 @@ type issue =
       gate_index : int option;
       distance : float;
     }
+  | Phase_poly_mismatch of { segment : int; detail : string }
 
-type semantic_status = Checked of { num_qubits : int } | Skipped of string
+type semantic_method = Statevector | Phase_polynomial
+
+type semantic_status =
+  | Checked of { num_qubits : int; method_ : semantic_method }
+  | Skipped of string
+
 type report = { issues : issue list; semantic : semantic_status }
 
 let default_max_semantic_qubits = 12
+
+type oracle = Auto | Statevector_only | Phase_poly_only
+
+type options = {
+  check_semantics : bool;
+  max_semantic_qubits : int;
+  eps : float;
+  oracle : oracle;
+}
+
+let default_options () =
+  let max_semantic_qubits =
+    match Sys.getenv_opt "QAOA_MAX_SEMANTIC_QUBITS" with
+    | None -> default_max_semantic_qubits
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> default_max_semantic_qubits)
+  in
+  { check_semantics = true; max_semantic_qubits; eps = 1e-6; oracle = Auto }
 
 let issue_to_string = function
   | Uncoupled_pair { gate_index; gate } ->
@@ -77,12 +104,20 @@ let issue_to_string = function
     | _ ->
       Printf.sprintf "final state differs, phase-aligned distance %.3e"
         distance)
+  | Phase_poly_mismatch { segment; detail } ->
+    Printf.sprintf "phase polynomials diverge at segment %d: %s" segment
+      detail
+
+let semantic_method_name = function
+  | Statevector -> "statevector"
+  | Phase_polynomial -> "phase polynomial"
 
 let report_to_string r =
   let sem =
     match r.semantic with
-    | Checked { num_qubits } ->
-      Printf.sprintf "semantic: checked on %d qubits" num_qubits
+    | Checked { num_qubits; method_ } ->
+      Printf.sprintf "semantic: checked on %d qubits (%s)" num_qubits
+        (semantic_method_name method_)
     | Skipped reason -> "semantic: skipped (" ^ reason ^ ")"
   in
   match r.issues with
@@ -298,13 +333,30 @@ let semantic ~eps logical replay =
       [ State_mismatch { layer = None; gate_index = None; distance = d } ]
     else []
 
+(* The any-size oracle: compare the logical circuit against the circuit
+   of logical pre-images (in emission order) via their phase-polynomial
+   canonical forms.  Exact on the linear fragment; [Error reason] when
+   the non-linear skeletons do not line up. *)
+let phase_poly_semantic ~eps logical replay =
+  let n = Circuit.num_qubits logical in
+  let preimage_circuit =
+    Circuit.of_gates n (List.map (fun (_, _, pre) -> pre) replay.preimages)
+  in
+  match Phase_poly.equal_up_to_global_phase ~eps logical preimage_circuit with
+  | Phase_poly.Equivalent -> Ok []
+  | Phase_poly.Inequivalent { segment; detail } ->
+    Ok [ Phase_poly_mismatch { segment; detail } ]
+  | Phase_poly.Inconclusive reason -> Error reason
+
 (* ---------------------------------------------------------------- *)
 (* Entry point                                                      *)
 (* ---------------------------------------------------------------- *)
 
-let validate ?(check_semantics = true)
-    ?(max_semantic_qubits = default_max_semantic_qubits) ?(eps = 1e-6)
-    ~device ~initial ~final ?swap_count ~logical compiled =
+let validate ?options ~device ~initial ~final ?swap_count ~logical compiled =
+  let options =
+    match options with Some o -> o | None -> default_options ()
+  in
+  let { check_semantics; max_semantic_qubits; eps; oracle } = options in
   let n_logical = Circuit.num_qubits logical in
   Trace.with_span "verify.check.validate"
     ~attrs:
@@ -357,21 +409,54 @@ let validate ?(check_semantics = true)
     replay.issues @ mapping_issues @ swap_issues @ measure_issues
     @ accounting_issues
   in
+  let statevector_check () =
+    Trace.with_span "verify.check.semantic" @@ fun () ->
+    ( semantic ~eps logical replay,
+      Checked { num_qubits = n_logical; method_ = Statevector } )
+  in
+  let phase_poly_check ~skip_prefix =
+    match phase_poly_semantic ~eps logical replay with
+    | Ok issues ->
+      (issues, Checked { num_qubits = n_logical; method_ = Phase_polynomial })
+    | Error reason ->
+      ( [],
+        Skipped
+          (Printf.sprintf
+             "%sphase-polynomial oracle inconclusive: non-linear \
+              segmentation fallback failed (%s)"
+             skip_prefix reason) )
+  in
   let semantic_issues, semantic_status =
     if not check_semantics then ([], Skipped "disabled")
     else if structural_issues <> [] then
       ([], Skipped "structural issues present")
-    else if n_logical > max_semantic_qubits then
-      ( [],
-        Skipped
-          (Printf.sprintf "%d qubits exceeds the %d-qubit limit" n_logical
-             max_semantic_qubits) )
     else
-      Trace.with_span "verify.check.semantic" @@ fun () ->
-      (semantic ~eps logical replay, Checked { num_qubits = n_logical })
+      match oracle with
+      | Phase_poly_only -> phase_poly_check ~skip_prefix:""
+      | Statevector_only ->
+        if n_logical <= max_semantic_qubits then statevector_check ()
+        else
+          ( [],
+            Skipped
+              (Printf.sprintf
+                 "%d qubits exceeds the %d-qubit statevector limit and the \
+                  phase-polynomial oracle is disabled"
+                 n_logical max_semantic_qubits) )
+      | Auto ->
+        if n_logical <= max_semantic_qubits then statevector_check ()
+        else
+          phase_poly_check
+            ~skip_prefix:
+              (Printf.sprintf
+                 "%d qubits exceeds the %d-qubit statevector limit; "
+                 n_logical max_semantic_qubits)
   in
   (match semantic_status with
-  | Checked _ -> Metrics_registry.incr "verify.semantic_checked"
+  | Checked { method_ = Statevector; _ } ->
+    Metrics_registry.incr "verify.semantic_checked"
+  | Checked { method_ = Phase_polynomial; _ } ->
+    Metrics_registry.incr "verify.semantic_checked";
+    Metrics_registry.incr "verify.semantic_phase_poly"
   | Skipped _ -> Metrics_registry.incr "verify.semantic_skipped");
   let issues = structural_issues @ semantic_issues in
   Metrics_registry.incr "verify.issues" ~by:(List.length issues);
@@ -385,10 +470,9 @@ let () =
       Some ("Qaoa_verify.Check.Verification_failed: " ^ report_to_string r)
     | _ -> None)
 
-let validate_exn ?check_semantics ?max_semantic_qubits ?eps ~device ~initial
-    ~final ?swap_count ~logical compiled =
+let validate_exn ?options ~device ~initial ~final ?swap_count ~logical
+    compiled =
   let r =
-    validate ?check_semantics ?max_semantic_qubits ?eps ~device ~initial
-      ~final ?swap_count ~logical compiled
+    validate ?options ~device ~initial ~final ?swap_count ~logical compiled
   in
   if not (ok r) then raise (Verification_failed r)

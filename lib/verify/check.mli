@@ -16,14 +16,21 @@
       and the multiset of logical pre-images of the emitted gates must
       equal the logical circuit's gates (so a wrong-pair CNOT is named
       even when the wrong pair happens to be coupled).
-    - {b semantic}: for small registers (n <= {!default_max_semantic_qubits}
-      qubits by default), re-simulate the logical pre-images in emission
-      order and compare against the logical circuit's statevector up to
-      global phase, checkpointing at every clean logical-layer boundary so
-      a divergence is attributed to the first offending layer.
+    - {b semantic}: one of two oracles, chosen by {!options.oracle}.
+      Registers within {!options.max_semantic_qubits} re-simulate the
+      logical pre-images in emission order on a {b statevector} and
+      compare against the logical circuit's state up to global phase,
+      checkpointing at every clean logical-layer boundary so a divergence
+      is attributed to the first offending layer.  Larger registers fall
+      back to the {b phase-polynomial} canonicalizer
+      ({!Qaoa_analysis.Phase_poly}): exact on the linear gate fragment at
+      any qubit count, in polynomial time, so 20-qubit compiles still get
+      a definite semantic verdict instead of a skip.
 
-    Structural checks run on circuits of any size; semantic checks are
-    skipped (and reported as skipped) past the qubit limit. *)
+    Structural checks run on circuits of any size.  When the semantic
+    stage cannot run at all - disabled, structural issues present, or the
+    phase-polynomial fallback finds misaligned non-linear skeletons - the
+    report says exactly why in {!Skipped}. *)
 
 type issue =
   | Uncoupled_pair of { gate_index : int; gate : Qaoa_circuit.Gate.t }
@@ -71,16 +78,46 @@ type issue =
           (** compiled gate index completing that boundary *)
       distance : float;  (** phase-aligned L2 distance *)
     }
+  | Phase_poly_mismatch of { segment : int; detail : string }
+      (** the phase-polynomial oracle found the first divergent linear
+          segment; [detail] is a human-readable witness (a differing
+          output parity or phase term) *)
+
+type semantic_method = Statevector | Phase_polynomial
 
 type semantic_status =
-  | Checked of { num_qubits : int }
-  | Skipped of string  (** reason, e.g. register past the qubit limit *)
+  | Checked of { num_qubits : int; method_ : semantic_method }
+  | Skipped of string  (** reason: disabled, structural issues, qubit
+                           count past the statevector limit with the
+                           fallback disabled, or an inconclusive
+                           phase-polynomial comparison *)
 
 type report = { issues : issue list; semantic : semantic_status }
 
 val default_max_semantic_qubits : int
 (** 12 - a 4096-amplitude statevector, cheap enough to run on every
     compile of the evaluation's problem sizes. *)
+
+type oracle =
+  | Auto  (** statevector within the qubit limit, phase-polynomial past it *)
+  | Statevector_only  (** past the limit, skip (the pre-PR behaviour) *)
+  | Phase_poly_only  (** always use the canonicalizer, any size *)
+
+type options = {
+  check_semantics : bool;  (** run the semantic stage at all *)
+  max_semantic_qubits : int;  (** statevector cutoff *)
+  eps : float;
+      (** phase-aligned state-distance bound (statevector) and per-term
+          angular tolerance (phase polynomial) *)
+  oracle : oracle;
+}
+
+val default_options : unit -> options
+(** [{ check_semantics = true; max_semantic_qubits; eps = 1e-6;
+    oracle = Auto }], where [max_semantic_qubits] is
+    {!default_max_semantic_qubits} unless the [QAOA_MAX_SEMANTIC_QUBITS]
+    environment variable holds a non-negative integer (malformed values
+    are ignored).  Read afresh on every call. *)
 
 val issue_to_string : issue -> string
 val report_to_string : report -> string
@@ -89,9 +126,7 @@ val ok : report -> bool
 (** No issues found (a skipped semantic stage does not fail a report). *)
 
 val validate :
-  ?check_semantics:bool ->
-  ?max_semantic_qubits:int ->
-  ?eps:float ->
+  ?options:options ->
   device:Qaoa_hardware.Device.t ->
   initial:Qaoa_backend.Mapping.t ->
   final:Qaoa_backend.Mapping.t ->
@@ -102,17 +137,14 @@ val validate :
 (** [validate ~device ~initial ~final ~swap_count ~logical compiled]
     checks that [compiled] (on physical qubits, CPHASE/SWAP not yet
     decomposed) faithfully implements [logical] (on logical qubits) under
-    the recorded mappings.  [eps] bounds the tolerated phase-aligned state
-    distance (default 1e-6).  The semantic stage runs only when the
-    structural stage is clean - structural issues make gate pre-images
-    unreliable - and within the qubit limit. *)
+    the recorded mappings.  [options] defaults to {!default_options}[()].
+    The semantic stage runs only when the structural stage is clean -
+    structural issues make gate pre-images unreliable. *)
 
 exception Verification_failed of report
 
 val validate_exn :
-  ?check_semantics:bool ->
-  ?max_semantic_qubits:int ->
-  ?eps:float ->
+  ?options:options ->
   device:Qaoa_hardware.Device.t ->
   initial:Qaoa_backend.Mapping.t ->
   final:Qaoa_backend.Mapping.t ->

@@ -72,7 +72,7 @@ let run ?(shrink = fun _ -> []) ?(max_shrink_runs = 200) ~run_case cases =
     failures = List.rev !failures;
   }
 
-let pp_stats ~case_name ppf stats =
+let pp_stats ?case_repro ~case_name ppf stats =
   Format.fprintf ppf "cases: %d, failures: %d (shrinking spent %d runs)"
     stats.cases_run
     (List.length stats.failures)
@@ -82,5 +82,14 @@ let pp_stats ~case_name ppf stats =
       Format.fprintf ppf
         "@\n@\nfailure %d: %s@\n  %s@\n  shrunk (%d steps): %s@\n  %s" (i + 1)
         (case_name f.case) f.detail f.shrink_steps (case_name f.shrunk)
-        f.shrunk_detail)
+        f.shrunk_detail;
+      match case_repro with
+      | None -> ()
+      | Some repro -> (
+        match repro f.shrunk with
+        | None -> ()
+        | Some text ->
+          Format.fprintf ppf "@\n  reproducer:@\n";
+          String.split_on_char '\n' text
+          |> List.iter (fun line -> Format.fprintf ppf "    %s@\n" line)))
     stats.failures

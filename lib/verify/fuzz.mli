@@ -34,6 +34,14 @@ val run :
     [shrink] defaults to no shrinking. *)
 
 val pp_stats :
-  case_name:('a -> string) -> Format.formatter -> 'a stats -> unit
+  ?case_repro:('a -> string option) ->
+  case_name:('a -> string) ->
+  Format.formatter ->
+  'a stats ->
+  unit
 (** Human-readable summary: counts, then one block per failure with the
-    shrunk reproducer first. *)
+    shrunk reproducer first.  [case_repro], when provided, renders the
+    shrunk case as a standalone artifact (the pipeline sweep prints the
+    compiled circuit as OpenQASM) appended indented under the failure;
+    a [None] repro - e.g. the case crashes before producing a circuit -
+    is silently omitted.  Repro rendering must not raise. *)

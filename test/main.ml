@@ -26,6 +26,7 @@ let () =
       ("estimator+orient", Test_estimator.suite);
       ("pipeline-fuzz", Test_pipeline.suite);
       ("verify", Test_verify.suite);
+      ("analysis", Test_analysis.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("resilience", Test_resilience.suite);
       ("journal", Test_journal.suite);

@@ -84,6 +84,46 @@ let test_chain_cancellation () =
   let three = Optimize.circuit (Circuit.of_gates 1 (List.init 3 (fun _ -> Gate.H 0))) in
   Alcotest.(check int) "three leave one" 1 (Circuit.length three)
 
+let test_diagonal_commute_merge () =
+  (* rz on a shared wire is diagonal, so the two cphases still merge *)
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 2
+         [ Gate.Cphase (0, 1, 0.3); Gate.Rz (0, 0.4); Gate.Cphase (0, 1, 0.2) ])
+  in
+  Alcotest.(check int) "merged through rz" 2 (Circuit.length c);
+  let angles =
+    List.filter_map
+      (function
+        | Gate.Cphase (_, _, a) -> Some a
+        | _ -> None)
+      (Circuit.gates c)
+  in
+  (match angles with
+  | [ a ] -> Alcotest.(check (float 1e-12)) "cphase sum" 0.5 a
+  | _ -> Alcotest.fail "expected exactly one cphase");
+  (* a non-diagonal gate on a shared wire still blocks the merge *)
+  let blocked =
+    Optimize.circuit
+      (Circuit.of_gates 2
+         [ Gate.Cphase (0, 1, 0.3); Gate.H 0; Gate.Cphase (0, 1, 0.2) ])
+  in
+  Alcotest.(check int) "h blocks" 3 (Circuit.length blocked)
+
+let test_redundancies_report () =
+  let c =
+    Circuit.of_gates 2
+      [
+        Gate.H 0; Gate.H 0;
+        Gate.Cphase (0, 1, 0.1); Gate.Rz (0, 0.2); Gate.Cphase (0, 1, 0.3);
+      ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "pairs found" [ (0, 1); (2, 4) ] (Optimize.redundancies c);
+  Alcotest.(check (list (pair int int)))
+    "clean after optimize" []
+    (Optimize.redundancies (Optimize.circuit c))
+
 let test_swap_cphase_lowering_cancels () =
   (* SWAP(a,b) then CPHASE(a,b): after decomposition, cx(a,b) meets
      cx(a,b) back to back and cancels - the win the pass targets. *)
@@ -141,6 +181,16 @@ let prop_optimize_idempotent =
       let rng = Rng.create seed in
       let c = Optimize.circuit (random_circuit rng n 30) in
       Circuit.equal c (Optimize.circuit c))
+
+(* QCheck: the lint-facing redundancy report agrees with the rewriter -
+   once the optimizer reaches a fixpoint, nothing is left to report. *)
+let prop_redundancies_empty_on_fixpoint =
+  QCheck.Test.make
+    ~name:"redundancies is empty on an optimizer fixpoint" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 5))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      Optimize.redundancies (Optimize.circuit (random_circuit rng n 35)) = [])
 
 (* --- Dag --- *)
 
@@ -258,6 +308,8 @@ let suite =
     ("barrier fences", `Quick, test_barrier_fences);
     ("measure blocks", `Quick, test_measure_blocks);
     ("chain cancellation", `Quick, test_chain_cancellation);
+    ("diagonal commute merge", `Quick, test_diagonal_commute_merge);
+    ("redundancies report", `Quick, test_redundancies_report);
     ("swap+cphase lowering cancels", `Quick, test_swap_cphase_lowering_cancels);
     ("dag commutes relation", `Quick, test_commutes_relation);
     ("dag qaoa cost layer depth", `Quick, test_dag_qaoa_cost_layer_depth);
@@ -267,6 +319,7 @@ let suite =
     ("topological order valid", `Quick, test_topological_order_valid);
     QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics;
     QCheck_alcotest.to_alcotest prop_optimize_idempotent;
+    QCheck_alcotest.to_alcotest prop_redundancies_empty_on_fixpoint;
     QCheck_alcotest.to_alcotest prop_dag_reorder_sound;
     QCheck_alcotest.to_alcotest prop_dag_depth_bound;
   ]

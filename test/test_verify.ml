@@ -63,21 +63,43 @@ let test_healthy_all_strategies () =
         (Compile.strategy_name strategy ^ " validates")
         true (Check.ok report);
       match report.Check.semantic with
-      | Check.Checked { num_qubits } ->
-        Alcotest.(check int) "semantic on 8 qubits" 8 num_qubits
+      | Check.Checked { num_qubits; method_ } ->
+        Alcotest.(check int) "semantic on 8 qubits" 8 num_qubits;
+        Alcotest.(check bool) "statevector oracle within the limit" true
+          (method_ = Check.Statevector)
       | Check.Skipped why -> Alcotest.fail ("semantic skipped: " ^ why))
     Differential.default_strategies
 
-let test_semantic_skip_above_limit () =
+(* Above the statevector limit the Auto oracle now falls back to the
+   phase-polynomial canonicalizer instead of skipping; Statevector_only
+   restores the old skip, and its reason names both the count and the
+   limit. *)
+let test_semantic_above_limit_uses_phase_poly () =
   let device, _, logical, r = compile_one ~nodes:10 () in
-  let report =
-    Check.validate ~max_semantic_qubits:9 ~device
-      ~initial:r.Compile.initial_mapping ~final:r.Compile.final_mapping
-      ~swap_count:r.Compile.swap_count ~logical r.Compile.circuit
+  let options d =
+    { d with Check.max_semantic_qubits = 9 }
   in
-  Alcotest.(check bool) "still ok" true (Check.ok report);
-  match report.Check.semantic with
-  | Check.Skipped _ -> ()
+  let validate oracle =
+    Check.validate
+      ~options:{ (options (Check.default_options ())) with Check.oracle }
+      ~device ~initial:r.Compile.initial_mapping
+      ~final:r.Compile.final_mapping ~swap_count:r.Compile.swap_count
+      ~logical r.Compile.circuit
+  in
+  let auto = validate Check.Auto in
+  Alcotest.(check bool) "still ok" true (Check.ok auto);
+  (match auto.Check.semantic with
+  | Check.Checked { num_qubits; method_ = Check.Phase_polynomial } ->
+    Alcotest.(check int) "checked on 10 qubits" 10 num_qubits
+  | Check.Checked _ -> Alcotest.fail "expected the phase-polynomial oracle"
+  | Check.Skipped why -> Alcotest.fail ("semantic skipped: " ^ why));
+  let sv_only = validate Check.Statevector_only in
+  Alcotest.(check bool) "still ok" true (Check.ok sv_only);
+  match sv_only.Check.semantic with
+  | Check.Skipped why ->
+    Alcotest.(check bool) "reason names the limit" true
+      (contains_substring ~sub:"10 qubits" why
+      && contains_substring ~sub:"9-qubit" why)
   | Check.Checked _ -> Alcotest.fail "semantic should have been skipped"
 
 (* --- corruption rejection ------------------------------------------ *)
@@ -416,7 +438,8 @@ let test_qasm_round_trip_counts () =
 let suite =
   [
     ("healthy compiles validate (7 policies)", `Quick, test_healthy_all_strategies);
-    ("semantic skipped above qubit limit", `Quick, test_semantic_skip_above_limit);
+    ("above limit: phase-poly oracle or explicit skip", `Quick,
+     test_semantic_above_limit_uses_phase_poly);
     ("wrong-pair CNOT rejected by name", `Quick, test_wrong_pair_cnot_rejected);
     ("coupled wrong-pair CNOT rejected", `Quick, test_coupled_wrong_pair_rejected);
     ("dropped gate rejected", `Quick, test_dropped_gate_rejected);
