@@ -1,0 +1,104 @@
+(* qaoa-bench-diff: compare two BENCH_results.json files (as written by
+   bench/main.exe) and fail on hot-path regressions.
+
+   Examples:
+     qaoa-bench-diff bench_results/BASELINE.json bench_results/BENCH_results.json
+     qaoa-bench-diff BASELINE.json BENCH_results.json --threshold 0.5 \
+       --gate kernel.fig12-ic-unlimited-grid36=2.0 --json
+
+   Exit status: 0 = no gated regression, 1 = regression(s), 2 = bad
+   input. *)
+
+module Json = Qaoa_obs.Json
+module Bench_diff = Qaoa_obs.Bench_diff
+open Cmdliner
+
+let read_doc path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string_opt contents with
+  | Some doc -> doc
+  | None -> failwith (path ^ ": not valid JSON")
+
+let gate_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.index_opt s '=' with
+        | Some i -> (
+          let metric = String.sub s 0 i in
+          let v = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt v with
+          | Some t when t >= 0.0 -> Ok (metric, t)
+          | _ -> Error (`Msg "expected METRIC=REL with REL >= 0"))
+        | None -> Error (`Msg "expected METRIC=REL (e.g. kernel.ring8-ic=0.5)")),
+      fun ppf (m, t) -> Format.fprintf ppf "%s=%g" m t )
+
+let run baseline_path current_path threshold min_ms gates json =
+  try
+    let report =
+      Bench_diff.compare_docs ~default_threshold:threshold ~min_ms
+        ~overrides:gates ~baseline:(read_doc baseline_path)
+        ~current:(read_doc current_path) ()
+    in
+    if json then print_string (Json.to_string (Bench_diff.to_json report) ^ "\n")
+    else print_string (Bench_diff.to_text report);
+    if Bench_diff.regressed report then 1 else 0
+  with Sys_error msg | Failure msg ->
+    Printf.eprintf "qaoa-bench-diff: %s\n" msg;
+    2
+
+let cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_results.json.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_results.json.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold" ] ~docv:"REL"
+          ~doc:
+            "Default maximum allowed relative slowdown per kernel (1.0 = a \
+             2x slowdown fails).")
+  in
+  let min_ms =
+    Arg.(
+      value & opt float 0.01
+      & info [ "min-ms" ] ~docv:"MS"
+          ~doc:
+            "Kernels with a baseline below this are reported but not gated \
+             (timer noise floor).")
+  in
+  let gates =
+    Arg.(
+      value
+      & opt_all gate_conv []
+      & info [ "gate" ] ~docv:"METRIC=REL"
+          ~doc:
+            "Per-metric threshold override (repeatable), e.g. \
+             $(b,kernel.ring8-ic=0.5) or $(b,resilience.exhausted=0).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the delta report as a JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "qaoa-bench-diff" ~version:"1.0.0"
+       ~doc:
+         "Compare two bench-harness result files against per-metric \
+          regression thresholds")
+    Term.(const run $ baseline $ current $ threshold $ min_ms $ gates $ json)
+
+let () = exit (Cmd.eval' ~term_err:2 cmd)

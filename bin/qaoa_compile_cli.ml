@@ -15,7 +15,6 @@ module Topologies = Qaoa_hardware.Topologies
 module Device = Qaoa_hardware.Device
 module Generators = Qaoa_graph.Generators
 module Rng = Qaoa_util.Rng
-module Obs_config = Qaoa_obs.Config
 open Cmdliner
 
 type kind = Er of float | Regular of int
@@ -71,12 +70,9 @@ let guard f =
     Printf.eprintf "qaoa-compile: %s\n" msg;
     2
 
-let run device strategy nodes kind seed p gamma beta packing_limit qasm lint
-    trace trace_out =
+let run () device strategy nodes kind seed p gamma beta packing_limit qasm
+    lint =
   guard @@ fun () ->
-  (match trace with
-  | Some sink -> Obs_config.set ?out:trace_out (Some sink)
-  | None -> ());
   let rng = Rng.create seed in
   let graph =
     match kind with
@@ -186,38 +182,10 @@ let cmd =
             "Run the static lint rules on the compiled circuit (recorded \
              as the lint phase); exit 1 if any ERROR finding is reported.")
   in
-  let trace =
-    let sink_conv =
-      Arg.conv
-        ( (fun s ->
-            match Obs_config.sink_of_string s with
-            | Some sink -> Ok sink
-            | None -> Error (`Msg "expected report | jsonl | chrome")),
-          fun ppf s -> Format.pp_print_string ppf (Obs_config.sink_name s) )
-    in
-    Arg.(
-      value
-      & opt (some sink_conv) None
-      & info [ "trace" ] ~docv:"SINK"
-          ~doc:
-            "Enable compiler telemetry: report (span tree on stderr), \
-             jsonl, or chrome (trace_event JSON for chrome://tracing / \
-             Perfetto). Equivalent to setting $(b,QAOA_TRACE).")
-  in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"PATH"
-          ~doc:
-            "Output path for jsonl/chrome traces (default \
-             qaoa_trace.jsonl / qaoa_trace.json; equivalent to \
-             $(b,QAOA_TRACE_FILE)).")
-  in
   let term =
     Term.(
-      const run $ device $ strategy $ nodes $ kind $ seed $ p $ gamma $ beta
-      $ packing_limit $ qasm $ lint $ trace $ trace_out)
+      const run $ Qaoa_cli.setup $ device $ strategy $ nodes $ kind $ seed $ p
+      $ gamma $ beta $ packing_limit $ qasm $ lint)
   in
   Cmd.v
     (Cmd.info "qaoa-compile" ~version:"1.0.0"

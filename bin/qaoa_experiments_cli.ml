@@ -82,7 +82,7 @@ let print_journal_stats journal =
        Printf.sprintf ", %d torn record(s) truncated" s.Journal.torn_truncated
      else "")
 
-let run figure scale journal_dir resume export_dir =
+let run () figure scale journal_dir resume export_dir =
   try
     if resume && Option.is_none journal_dir then
       failwith "--resume requires --journal DIR";
@@ -163,6 +163,8 @@ let cmd =
   Cmd.v
     (Cmd.info "qaoa-experiments" ~version:"1.0.0"
        ~doc:"Regenerate the MICRO'20 QAOA-compilation evaluation figures")
-    Term.(const run $ figure $ scale $ journal_dir $ resume $ export_dir)
+    Term.(
+      const run $ Qaoa_cli.setup $ figure $ scale $ journal_dir $ resume
+      $ export_dir)
 
 let () = exit (Cmd.eval' ~term_err:2 cmd)

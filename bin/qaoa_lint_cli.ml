@@ -77,7 +77,7 @@ let demo_circuit device =
       Gate.Measure 3;
     ]
 
-let run file demo device json max_depth min_success_prob deny =
+let run () file demo device json max_depth min_success_prob deny =
   try
     let circuit, role, device =
       match (demo, file) with
@@ -167,8 +167,8 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ file $ demo $ device $ json $ max_depth $ min_success_prob
-      $ deny)
+      const run $ Qaoa_cli.setup $ file $ demo $ device $ json $ max_depth
+      $ min_success_prob $ deny)
   in
   Cmd.v
     (Cmd.info "qaoa-lint" ~version:"1.0.0"

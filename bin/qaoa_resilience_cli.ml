@@ -29,7 +29,7 @@ let deadline_conv =
         | _ -> Error (`Msg "expected a positive number of seconds")),
       fun ppf d -> Format.fprintf ppf "%g" d )
 
-let run scale seed topologies deadline verify retries fail_on_exhausted
+let run () scale seed topologies deadline verify retries fail_on_exhausted
     journal_dir resume =
   try
     if resume && Option.is_none journal_dir then
@@ -161,7 +161,7 @@ let cmd =
          "Fault-injection sweep: compile QAOA workloads on degraded devices \
           through the graceful-degradation chain")
     Term.(
-      const run $ scale $ seed $ topologies $ deadline $ verify $ retries
-      $ fail_on_exhausted $ journal_dir $ resume)
+      const run $ Qaoa_cli.setup $ scale $ seed $ topologies $ deadline
+      $ verify $ retries $ fail_on_exhausted $ journal_dir $ resume)
 
 let () = exit (Cmd.eval' ~term_err:2 cmd)

@@ -80,7 +80,7 @@ let guard f =
     Printf.eprintf "qaoa-solve: %s\n" msg;
     2
 
-let run problem_kind device strategy nodes kind seed p shots noisy =
+let run () problem_kind device strategy nodes kind seed p shots noisy =
   guard @@ fun () ->
   let rng = Rng.create seed in
   let graph =
@@ -162,7 +162,7 @@ let cmd =
     (Cmd.info "qaoa-solve" ~version:"1.0.0"
        ~doc:"Solve a combinatorial problem end-to-end with QAOA")
     Term.(
-      const run $ problem $ device $ strategy $ nodes $ kind $ seed $ p
-      $ shots $ noisy)
+      const run $ Qaoa_cli.setup $ problem $ device $ strategy $ nodes $ kind
+      $ seed $ p $ shots $ noisy)
 
 let () = exit (Cmd.eval' ~term_err:2 cmd)

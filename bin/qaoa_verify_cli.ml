@@ -79,7 +79,7 @@ let oracle_conv =
           | Check.Statevector_only -> "statevector"
           | Check.Phase_poly_only -> "phase-poly") )
 
-let run_check topology strategies all nodes kind seed p max_semantic oracle =
+let run_check () topology strategies all nodes kind seed p max_semantic oracle =
   guard @@ fun () ->
   let device = Differential.device_of_topology topology in
   let strategies =
@@ -162,7 +162,8 @@ let check_cmd =
   in
   let term =
     Term.(
-      const run_check $ topology $ strategies $ all $ nodes $ kind $ seed $ p
+      const run_check $ Qaoa_cli.setup $ topology $ strategies $ all $ nodes
+      $ kind $ seed $ p
       $ max_semantic $ oracle)
   in
   Cmd.v
@@ -171,7 +172,7 @@ let check_cmd =
 
 (* ---------------- fuzz ---------------- *)
 
-let run_fuzz cases_count seed topologies strategies max_nodes max_semantic =
+let run_fuzz () cases_count seed topologies strategies max_nodes max_semantic =
   guard @@ fun () ->
   let topologies =
     if topologies = [] then Differential.default_topologies else topologies
@@ -224,7 +225,8 @@ let fuzz_cmd =
   in
   let term =
     Term.(
-      const run_fuzz $ cases_count $ seed $ topologies $ strategies
+      const run_fuzz $ Qaoa_cli.setup $ cases_count $ seed $ topologies
+      $ strategies
       $ max_nodes $ max_semantic)
   in
   Cmd.v

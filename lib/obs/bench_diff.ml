@@ -1,0 +1,218 @@
+type status = Pass | Regressed | Baseline_only | Current_only | Info
+
+let status_name = function
+  | Pass -> "ok"
+  | Regressed -> "REGRESSED"
+  | Baseline_only -> "MISSING"
+  | Current_only -> "new"
+  | Info -> "info"
+
+type row = {
+  metric : string;
+  baseline : float option;
+  current : float option;
+  rel_change : float option;
+      (** (current - baseline) / baseline; [infinity] when baseline = 0
+          and current > 0 *)
+  threshold : float option;
+      (** max allowed relative increase; [None] = informational *)
+  status : status;
+}
+
+type report = {
+  rows : row list;
+  baseline_scale : string option;
+  current_scale : string option;
+}
+
+let regressions report =
+  List.length
+    (List.filter
+       (fun r -> r.status = Regressed || r.status = Baseline_only)
+       report.rows)
+
+let regressed report = regressions report > 0
+
+(* --- BENCH_results.json accessors --- *)
+
+let scale_of doc =
+  match Json.member "scale" doc with Some (Json.String s) -> Some s | _ -> None
+
+let kernels_of doc =
+  match Json.member "kernels" doc with
+  | Some (Json.Assoc kernels) ->
+    List.filter_map
+      (fun (name, k) ->
+        match Option.bind (Json.member "ms_per_run" k) Json.to_float with
+        | Some ms -> Some (name, ms)
+        | None -> None)
+      kernels
+  | _ -> failwith "bench-diff: no \"kernels\" object (not a BENCH_results.json?)"
+
+let resilience_int field doc =
+  match Json.member "resilience" doc with
+  | Some r -> (
+    match Json.member field r with Some (Json.Int i) -> Some i | _ -> None)
+  | None -> None
+
+(* --- comparison --- *)
+
+let rel_change ~baseline ~current =
+  if baseline = 0.0 then if current > 0.0 then Float.infinity else 0.0
+  else (current -. baseline) /. baseline
+
+let gate_row ~metric ~threshold ~baseline ~current =
+  match (baseline, current) with
+  | Some b, Some c ->
+    let rel = rel_change ~baseline:b ~current:c in
+    let status =
+      match threshold with
+      | Some t when rel > t -> Regressed
+      | Some _ -> Pass
+      | None -> Info
+    in
+    {
+      metric;
+      baseline = Some b;
+      current = Some c;
+      rel_change = Some rel;
+      threshold;
+      status;
+    }
+  | Some b, None ->
+    (* A gated metric that disappeared is a broken contract: renaming or
+       deleting a hot-path kernel requires refreshing the baseline. *)
+    {
+      metric;
+      baseline = Some b;
+      current = None;
+      rel_change = None;
+      threshold;
+      status = (if threshold = None then Info else Baseline_only);
+    }
+  | None, Some c ->
+    {
+      metric;
+      baseline = None;
+      current = Some c;
+      rel_change = None;
+      threshold = None;
+      status = Current_only;
+    }
+  | None, None -> assert false
+
+let compare_docs ?(default_threshold = 1.0) ?(min_ms = 0.01) ?(overrides = [])
+    ~baseline ~current () =
+  let base_kernels = kernels_of baseline in
+  let cur_kernels = kernels_of current in
+  let names =
+    List.sort_uniq compare (List.map fst base_kernels @ List.map fst cur_kernels)
+  in
+  let kernel_rows =
+    List.map
+      (fun name ->
+        let metric = "kernel." ^ name in
+        let b = List.assoc_opt name base_kernels in
+        let c = List.assoc_opt name cur_kernels in
+        let threshold =
+          match List.assoc_opt metric overrides with
+          | Some t -> Some t
+          | None -> (
+            (* below the noise floor a relative gate is meaningless *)
+            match b with
+            | Some b when b < min_ms -> None
+            | _ -> Some default_threshold)
+        in
+        gate_row ~metric ~threshold ~baseline:b ~current:c)
+      names
+  in
+  let res_row field ~gated =
+    match
+      (resilience_int field baseline, resilience_int field current)
+    with
+    | None, None -> []
+    | b, c ->
+      let metric = "resilience." ^ field in
+      let threshold =
+        if not gated then None
+        else
+          match List.assoc_opt metric overrides with
+          | Some t -> Some t
+          | None -> Some 0.0 (* any increase is a lost compile *)
+      in
+      [
+        gate_row ~metric ~threshold
+          ~baseline:(Option.map float_of_int b)
+          ~current:(Option.map float_of_int c);
+      ]
+  in
+  {
+    rows =
+      kernel_rows
+      @ res_row "exhausted" ~gated:true
+      @ res_row "compiled" ~gated:false
+      @ res_row "fallback_recovered" ~gated:false
+      @ res_row "instances" ~gated:false;
+    baseline_scale = scale_of baseline;
+    current_scale = scale_of current;
+  }
+
+(* --- reporting --- *)
+
+let opt_float = function
+  | Some f when Float.is_finite f -> Printf.sprintf "%10.4f" f
+  | Some f -> Printf.sprintf "%10s" (if f > 0.0 then "inf" else "-inf")
+  | None -> Printf.sprintf "%10s" "-"
+
+let pct = function
+  | Some f when Float.is_finite f -> Printf.sprintf "%+8.1f%%" (100.0 *. f)
+  | Some _ -> Printf.sprintf "%9s" "+inf"
+  | None -> Printf.sprintf "%9s" "-"
+
+let to_text report =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench-diff: baseline scale=%s, current scale=%s%s\n"
+       (Option.value ~default:"?" report.baseline_scale)
+       (Option.value ~default:"?" report.current_scale)
+       (if report.baseline_scale <> report.current_scale then
+          " [scale mismatch: resilience rows not comparable]"
+        else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-40s %10s %10s %9s %9s  %s\n" "metric" "baseline"
+       "current" "change" "limit" "status");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-40s %s %s %s %s  %s\n" r.metric
+           (opt_float r.baseline) (opt_float r.current) (pct r.rel_change)
+           (pct r.threshold) (status_name r.status)))
+    report.rows;
+  let n = regressions report in
+  Buffer.add_string buf
+    (if n = 0 then "no gated regressions\n"
+     else Printf.sprintf "%d gated regression(s)\n" n);
+  Buffer.contents buf
+
+let row_json r =
+  let f = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Assoc
+    [
+      ("metric", Json.String r.metric);
+      ("baseline", f r.baseline);
+      ("current", f r.current);
+      ("rel_change", f r.rel_change);
+      ("threshold", f r.threshold);
+      ("status", Json.String (status_name r.status));
+    ]
+
+let to_json report =
+  let s = function Some v -> Json.String v | None -> Json.Null in
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("baseline_scale", s report.baseline_scale);
+      ("current_scale", s report.current_scale);
+      ("rows", Json.List (List.map row_json report.rows));
+      ("regressions", Json.Int (regressions report));
+    ]

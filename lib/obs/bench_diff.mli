@@ -1,0 +1,64 @@
+(** Bench regression gate: compare two [BENCH_results.json] documents
+    (as written by [bench/main.exe]) against per-metric relative
+    thresholds, turning the bench trajectory into an enforced
+    performance contract.
+
+    Gated metrics:
+    - every [kernels.<name>.ms_per_run] — fails when
+      [(current - baseline) / baseline] exceeds its threshold (default
+      [default_threshold], per-metric override via [overrides], metrics
+      whose baseline is below [min_ms] are informational: a relative
+      gate below the timer noise floor is meaningless);
+    - [resilience.exhausted] — any increase fails (an exhausted fallback
+      chain is a lost compile, not timing noise);
+    - a gated kernel present in the baseline but missing from the
+      current run fails (renames require refreshing the baseline).
+
+    [resilience.compiled]/[fallback_recovered]/[instances] and kernels
+    new in the current run are reported informationally. *)
+
+type status =
+  | Pass
+  | Regressed
+  | Baseline_only  (** gated metric vanished from the current run *)
+  | Current_only  (** new metric, informational *)
+  | Info
+
+val status_name : status -> string
+
+type row = {
+  metric : string;  (** e.g. ["kernel.fig7-qaim-er05-tokyo"] *)
+  baseline : float option;
+  current : float option;
+  rel_change : float option;
+      (** (current - baseline) / baseline; [infinity] when baseline = 0
+          and current > 0 *)
+  threshold : float option;
+      (** max allowed relative increase; [None] = informational *)
+  status : status;
+}
+
+type report = {
+  rows : row list;
+  baseline_scale : string option;
+  current_scale : string option;
+}
+
+val compare_docs :
+  ?default_threshold:float ->
+  ?min_ms:float ->
+  ?overrides:(string * float) list ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  report
+(** Defaults: [default_threshold = 1.0] (a 2x slowdown fails — generous
+    enough to absorb runner-to-runner variance on shared CI hardware),
+    [min_ms = 0.01]. [overrides] maps full metric names to thresholds.
+    @raise Failure when either document has no ["kernels"] object. *)
+
+val regressions : report -> int
+val regressed : report -> bool
+
+val to_text : report -> string
+val to_json : report -> Json.t

@@ -101,6 +101,7 @@ let span_json (ev : Trace.event) =
       ("id", Json.Int ev.Trace.id);
       ("parent", Json.Int ev.Trace.parent);
       ("depth", Json.Int ev.Trace.depth);
+      ("domain", Json.Int ev.Trace.domain);
       ("ts_s", Json.Float (ev.Trace.start_wall -. Config.epoch));
       ("dur_wall_s", Json.Float ev.Trace.dur_wall);
       ("dur_cpu_s", Json.Float ev.Trace.dur_cpu);
@@ -145,6 +146,9 @@ let jsonl_string () =
 
 (* --- chrome trace_event --- *)
 
+(* Each OCaml domain maps to a Chrome "thread": spans carry their
+   domain id as tid, and a thread_name metadata event labels each lane
+   so multi-domain traces render as parallel tracks in Perfetto. *)
 let chrome_event (ev : Trace.event) =
   Json.Assoc
     [
@@ -152,7 +156,7 @@ let chrome_event (ev : Trace.event) =
       ("cat", Json.String "qaoa");
       ("ph", Json.String "X");
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int ev.Trace.domain);
       ("ts", Json.Float ((ev.Trace.start_wall -. Config.epoch) *. 1e6));
       ("dur", Json.Float (ev.Trace.dur_wall *. 1e6));
       ( "args",
@@ -160,10 +164,32 @@ let chrome_event (ev : Trace.event) =
           (("dur_cpu_s", Trace.Float ev.Trace.dur_cpu) :: ev.Trace.attrs) );
     ]
 
+let chrome_thread_names events =
+  let domains =
+    List.sort_uniq compare
+      (List.map (fun (ev : Trace.event) -> ev.Trace.domain) events)
+  in
+  List.map
+    (fun d ->
+      Json.Assoc
+        [
+          ("name", Json.String "thread_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int d);
+          ( "args",
+            Json.Assoc [ ("name", Json.String (Printf.sprintf "domain-%d" d)) ]
+          );
+        ])
+    domains
+
 let chrome () =
+  let events = Trace.events () in
   Json.Assoc
     [
-      ("traceEvents", Json.List (List.map chrome_event (Trace.events ())));
+      ( "traceEvents",
+        Json.List (chrome_thread_names events @ List.map chrome_event events)
+      );
       ("displayTimeUnit", Json.String "ms");
       ( "otherData",
         Json.Assoc
@@ -191,6 +217,7 @@ let flushed = ref false
 let default_path = function
   | Config.Jsonl -> "qaoa_trace.jsonl"
   | Config.Chrome -> "qaoa_trace.json"
+  | Config.Folded -> "qaoa_trace.folded"
   | Config.Report -> "qaoa_trace.txt"
 
 let write_file path contents =
@@ -216,6 +243,7 @@ let write ?path () =
       | Config.Report -> report_string ()
       | Config.Jsonl -> jsonl_string ()
       | Config.Chrome -> chrome_string ()
+      | Config.Folded -> Flamegraph.folded_string ()
     in
     (match target with
     | None -> prerr_string contents
@@ -234,10 +262,15 @@ let write ?path () =
 
 let () =
   at_exit (fun () ->
+      let recorded_something () =
+        Trace.span_count () > 0
+        || Metrics_registry.counters () <> []
+        || Metrics_registry.histograms () <> []
+      in
+      if (not !flushed) && Config.sink () <> None && recorded_something ()
+      then write ();
       if
-        (not !flushed)
-        && Config.sink () <> None
-        && (Trace.span_count () > 0
-           || Metrics_registry.counters () <> []
-           || Metrics_registry.histograms () <> [])
-      then write ())
+        (not !Expose.flushed)
+        && Config.metrics_format () <> None
+        && recorded_something ()
+      then Expose.write ())

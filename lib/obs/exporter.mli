@@ -1,17 +1,24 @@
-(** Export everything {!Trace} and {!Metrics_registry} recorded, in the
-    sink selected by {!Config} ([QAOA_TRACE] / [--trace]):
+(** Export everything {!Trace} and {!Metrics_registry} recorded — merged
+    across all domains — in the sink selected by {!Config}
+    ([QAOA_TRACE] / [--trace]):
 
     - {b report}: human-readable aggregated span tree (grouped by name
       within each nesting level, execution order preserved) followed by
       counters and histogram summaries;
-    - {b jsonl}: one JSON object per line — spans in completion order,
-      then counters, then histograms;
+    - {b jsonl}: one JSON object per line — spans in completion order
+      (each carrying its domain id), then counters, then histograms;
     - {b chrome}: a [trace_event] JSON document with one complete
       ("ph":"X") event per span, loadable in [chrome://tracing] or
-      Perfetto; counters/histograms ride along under ["otherData"].
+      Perfetto; each OCaml domain renders as its own named thread lane
+      ([tid] = domain id), counters/histograms ride along under
+      ["otherData"];
+    - {b folded}: folded stacks with per-path self time (see
+      {!Flamegraph}).
 
     A successful process exit auto-writes the selected sink once
-    ([at_exit]); {!write} forces it earlier (e.g. in tests or servers). *)
+    ([at_exit]), and likewise the {!Expose} metrics exposition when one
+    is configured; {!write} forces the trace sink earlier (e.g. in tests
+    or servers). *)
 
 val report : Format.formatter -> unit
 val report_string : unit -> string
@@ -23,6 +30,7 @@ val chrome_string : unit -> string
 
 val write : ?path:string -> unit -> unit
 (** Export now according to [Config.sink ()]: [Report] to stderr,
-    [Jsonl]/[Chrome] to [?path], else [Config.out_path ()], else
-    [qaoa_trace.jsonl] / [qaoa_trace.json]. No-op when tracing was never
-    configured. Marks the automatic at-exit flush as done. *)
+    [Jsonl]/[Chrome]/[Folded] to [?path], else [Config.out_path ()],
+    else [qaoa_trace.jsonl] / [qaoa_trace.json] / [qaoa_trace.folded].
+    No-op when tracing was never configured. Marks the automatic at-exit
+    flush as done. *)

@@ -1,0 +1,197 @@
+(* Metric names use the pipeline's dotted convention
+   ("router.swaps_inserted"); Prometheus names allow [a-zA-Z0-9_:], so
+   everything else maps to '_' and the family gets a "qaoa_" prefix. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_name name = "qaoa_" ^ sanitize name
+
+(* %h-style shortest float that survives the round-trip; Prometheus
+   accepts scientific notation. Non-finite values (empty histogram
+   min/max) render as Prometheus +Inf/-Inf/NaN. *)
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" f
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Per-span-name roll-up: count / total wall / total CPU. *)
+let span_rollup (snapshot : Snapshot.t) =
+  let tbl : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match Hashtbl.find_opt tbl ev.Trace.name with
+      | Some (n, w, c) ->
+        Stdlib.incr n;
+        w := !w +. ev.Trace.dur_wall;
+        c := !c +. ev.Trace.dur_cpu
+      | None ->
+        Hashtbl.replace tbl ev.Trace.name
+          (ref 1, ref ev.Trace.dur_wall, ref ev.Trace.dur_cpu);
+        order := ev.Trace.name :: !order)
+    snapshot.Snapshot.spans;
+  List.rev_map
+    (fun name ->
+      let n, w, c = Hashtbl.find tbl name in
+      (name, !n, !w, !c))
+    !order
+  |> List.sort compare
+
+let prometheus_of_snapshot (snapshot : Snapshot.t) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = prom_name name in
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    snapshot.Snapshot.counters;
+  List.iter
+    (fun (name, st) ->
+      let s = Metrics_registry.summary_of_state st in
+      let m = prom_name name in
+      line "# TYPE %s summary" m;
+      line "%s{quantile=\"0.5\"} %s" m (prom_float s.Metrics_registry.p50);
+      line "%s{quantile=\"0.9\"} %s" m (prom_float s.Metrics_registry.p90);
+      line "%s{quantile=\"0.99\"} %s" m (prom_float s.Metrics_registry.p99);
+      line "%s_sum %s" m (prom_float s.Metrics_registry.sum);
+      line "%s_count %d" m s.Metrics_registry.count;
+      line "# TYPE %s_min gauge" m;
+      line "%s_min %s" m (prom_float s.Metrics_registry.min);
+      line "# TYPE %s_max gauge" m;
+      line "%s_max %s" m (prom_float s.Metrics_registry.max))
+    snapshot.Snapshot.histograms;
+  (match span_rollup snapshot with
+  | [] -> ()
+  | rollup ->
+    line "# TYPE qaoa_span_count counter";
+    List.iter
+      (fun (name, n, _, _) ->
+        line "qaoa_span_count{name=\"%s\"} %d" (escape_label name) n)
+      rollup;
+    line "# TYPE qaoa_span_wall_seconds_total counter";
+    List.iter
+      (fun (name, _, w, _) ->
+        line "qaoa_span_wall_seconds_total{name=\"%s\"} %s"
+          (escape_label name) (prom_float w))
+      rollup;
+    line "# TYPE qaoa_span_cpu_seconds_total counter";
+    List.iter
+      (fun (name, _, _, c) ->
+        line "qaoa_span_cpu_seconds_total{name=\"%s\"} %s"
+          (escape_label name) (prom_float c))
+      rollup);
+  line "# TYPE qaoa_dropped_spans_total counter";
+  line "qaoa_dropped_spans_total %d" snapshot.Snapshot.dropped_spans;
+  Buffer.contents buf
+
+let prometheus_string ?snapshot () =
+  prometheus_of_snapshot
+    (match snapshot with Some s -> s | None -> Snapshot.capture ())
+
+let summary_json (s : Metrics_registry.summary) =
+  Json.Assoc
+    [
+      ("count", Json.Int s.Metrics_registry.count);
+      ("sum", Json.Float s.Metrics_registry.sum);
+      ("min", Json.Float s.Metrics_registry.min);
+      ("max", Json.Float s.Metrics_registry.max);
+      ("mean", Json.Float s.Metrics_registry.mean);
+      ("p50", Json.Float s.Metrics_registry.p50);
+      ("p90", Json.Float s.Metrics_registry.p90);
+      ("p99", Json.Float s.Metrics_registry.p99);
+    ]
+
+let json_of_snapshot (snapshot : Snapshot.t) =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("kind", Json.String "qaoa_metrics");
+      ( "counters",
+        Json.Assoc
+          (List.map (fun (k, v) -> (k, Json.Int v)) snapshot.Snapshot.counters)
+      );
+      ( "histograms",
+        Json.Assoc
+          (List.map
+             (fun (k, st) ->
+               (k, summary_json (Metrics_registry.summary_of_state st)))
+             snapshot.Snapshot.histograms) );
+      ( "spans",
+        Json.Assoc
+          (List.map
+             (fun (name, n, w, c) ->
+               ( name,
+                 Json.Assoc
+                   [
+                     ("count", Json.Int n);
+                     ("wall_s", Json.Float w);
+                     ("cpu_s", Json.Float c);
+                   ] ))
+             (span_rollup snapshot)) );
+      ("dropped_spans", Json.Int snapshot.Snapshot.dropped_spans);
+    ]
+
+let json ?snapshot () =
+  json_of_snapshot
+    (match snapshot with Some s -> s | None -> Snapshot.capture ())
+
+let json_string ?snapshot () = Json.to_string (json ?snapshot ()) ^ "\n"
+
+let render format snapshot =
+  match format with
+  | Config.Prometheus -> prometheus_of_snapshot snapshot
+  | Config.Json -> Json.to_string (json_of_snapshot snapshot) ^ "\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let flushed = ref false
+
+let write ?path () =
+  match Config.metrics_format () with
+  | None -> ()
+  | Some format -> (
+    flushed := true;
+    let contents = render format (Snapshot.capture ()) in
+    let target =
+      match (path, Config.metrics_out ()) with
+      | Some p, _ -> Some p
+      | None, Some p -> Some p
+      | None, None -> None
+    in
+    match target with
+    | None -> prerr_string contents
+    | Some p -> (
+      (* An unwritable metrics file must not abort the process (nor the
+         at-exit flush of an otherwise successful run): warn and drop. *)
+      match write_file p contents with
+      | () ->
+        Printf.eprintf "qaoa_obs: wrote %s metrics to %s\n%!"
+          (Config.metrics_format_name format)
+          p
+      | exception Sys_error msg ->
+        Printf.eprintf "qaoa_obs: cannot write metrics: %s\n%!" msg))

@@ -1,0 +1,29 @@
+(** Metrics exposition: render a {!Snapshot} (default: capture now) as
+    Prometheus/OpenMetrics text or as a self-describing JSON document.
+
+    Prometheus mapping: counters become [counter] families
+    ([qaoa_<name>], dots sanitized to underscores), histograms become
+    [summary] families (quantiles 0.5/0.9/0.99 over the merged retained
+    windows, exact [_sum]/[_count], plus [_min]/[_max] gauges), and
+    spans roll up per name into [qaoa_span_count],
+    [qaoa_span_wall_seconds_total] and [qaoa_span_cpu_seconds_total]
+    labelled by span name.
+
+    Selected per process by [QAOA_METRICS=prometheus|json] (optional
+    [QAOA_METRICS_FILE=path]) or the shared [--metrics]/[--metrics-file]
+    CLI flags; flushed automatically at process exit, or earlier via
+    {!write}. *)
+
+val prometheus_string : ?snapshot:Snapshot.t -> unit -> string
+val json : ?snapshot:Snapshot.t -> unit -> Json.t
+val json_string : ?snapshot:Snapshot.t -> unit -> string
+
+val render : Config.metrics_format -> Snapshot.t -> string
+
+val flushed : bool ref
+(** Set by {!write}; the at-exit flush skips writing when already set. *)
+
+val write : ?path:string -> unit -> unit
+(** Export now according to [Config.metrics_format ()]: to [?path], else
+    [Config.metrics_out ()], else stderr. No-op when metrics exposition
+    was never configured. Marks the automatic at-exit flush as done. *)

@@ -1,0 +1,64 @@
+(* Folded-stacks export: one line per distinct span path,
+   "root;child;leaf <self-time-us>", the input format of flamegraph.pl
+   and speedscope.  Self time is a span's wall duration minus the wall
+   duration of its direct children, clamped at zero (children can
+   slightly overshoot their parent through clock granularity). *)
+
+let folded_of_snapshot (snapshot : Snapshot.t) =
+  let spans = snapshot.Snapshot.spans in
+  let by_id : (int, Trace.event) Hashtbl.t = Hashtbl.create 256 in
+  let child_wall : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (ev : Trace.event) -> Hashtbl.replace by_id ev.Trace.id ev)
+    spans;
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.parent >= 0 then
+        let prev =
+          Option.value ~default:0.0 (Hashtbl.find_opt child_wall ev.Trace.parent)
+        in
+        Hashtbl.replace child_wall ev.Trace.parent (prev +. ev.Trace.dur_wall))
+    spans;
+  let multi_domain =
+    match spans with
+    | [] -> false
+    | ev :: rest ->
+      List.exists (fun (e : Trace.event) -> e.Trace.domain <> ev.Trace.domain) rest
+  in
+  let rec path (ev : Trace.event) acc =
+    let acc = ev.Trace.name :: acc in
+    match Hashtbl.find_opt by_id ev.Trace.parent with
+    | Some parent -> path parent acc
+    | None ->
+      (* Multi-domain streams get one synthetic root frame per domain so
+         per-domain flames stay separable. *)
+      if multi_domain then Printf.sprintf "domain-%d" ev.Trace.domain :: acc
+      else acc
+  in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let self =
+        Float.max 0.0
+          (ev.Trace.dur_wall
+          -. Option.value ~default:0.0 (Hashtbl.find_opt child_wall ev.Trace.id))
+      in
+      let stack = String.concat ";" (path ev []) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals stack) in
+      Hashtbl.replace totals stack (prev +. self))
+    spans;
+  Hashtbl.fold (fun stack self acc -> (stack, self) :: acc) totals []
+  |> List.sort compare
+
+let folded ?snapshot () =
+  folded_of_snapshot
+    (match snapshot with Some s -> s | None -> Snapshot.capture ())
+
+let folded_string ?snapshot () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, self_s) ->
+      let us = int_of_float (Float.round (self_s *. 1e6)) in
+      if us > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" stack us))
+    (folded ?snapshot ());
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Folded-stacks (flamegraph) export computed from a {!Snapshot}'s span
+    stream.
+
+    Each completed span contributes its {e self} wall time (duration
+    minus direct children) to its full path ("root;child;leaf"). When
+    the stream spans several domains, every path is rooted under a
+    synthetic ["domain-<id>"] frame so per-domain flames stay
+    separable. Feed the output to
+    {{:https://github.com/brendangregg/FlameGraph}flamegraph.pl} or
+    {{:https://www.speedscope.app}speedscope}:
+
+    {v
+    qaoa-compile --nodes 20 --trace folded --trace-file compile.folded
+    flamegraph.pl compile.folded > compile.svg
+    v} *)
+
+val folded : ?snapshot:Snapshot.t -> unit -> (string * float) list
+(** [(stack, self_wall_seconds)] per distinct path, sorted by stack;
+    default snapshot is {!Snapshot.capture}[ ()]. *)
+
+val folded_string : ?snapshot:Snapshot.t -> unit -> string
+(** Folded lines ["a;b;c <self-us>"] with integer-microsecond values;
+    paths whose self time rounds to 0 µs are omitted. *)

@@ -10,46 +10,156 @@ type hist = {
   samples : float array;  (** ring buffer of the last [window] values *)
 }
 
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let hists_tbl : (string, hist) Hashtbl.t = Hashtbl.create 64
+(* One shard per domain, reached through Domain.DLS so the hot recording
+   path never contends with other domains.  Every shard carries its own
+   mutex: the owning domain takes it per record (uncontended in steady
+   state, so ~a compare-and-swap), readers take it while copying, which
+   makes merged reads exact even while other domains keep recording.
+   Shards of terminated domains stay registered so their telemetry keeps
+   contributing to merged reads. *)
+type shard = {
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let registry_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+let make_shard () =
+  let s =
+    {
+      lock = Mutex.create ();
+      counters = Hashtbl.create 64;
+      hists = Hashtbl.create 64;
+    }
+  in
+  Mutex.protect registry_lock (fun () -> shards := s :: !shards);
+  s
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key make_shard
+let my_shard () = Domain.DLS.get shard_key
+let shard_count () = Mutex.protect registry_lock (fun () -> List.length !shards)
+let all_shards () = Mutex.protect registry_lock (fun () -> !shards)
 
 let incr ?(by = 1) name =
-  if Config.enabled () then
-    match Hashtbl.find_opt counters_tbl name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace counters_tbl name (ref by)
+  if Config.enabled () then begin
+    let s = my_shard () in
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace s.counters name (ref by))
+  end
 
 let observe name v =
   if Config.enabled () then begin
-    let h =
-      match Hashtbl.find_opt hists_tbl name with
-      | Some h -> h
-      | None ->
+    let s = my_shard () in
+    Mutex.protect s.lock (fun () ->
         let h =
-          {
-            count = 0;
-            sum = 0.0;
-            min = Float.infinity;
-            max = Float.neg_infinity;
-            samples = Array.make window 0.0;
-          }
+          match Hashtbl.find_opt s.hists name with
+          | Some h -> h
+          | None ->
+            let h =
+              {
+                count = 0;
+                sum = 0.0;
+                min = Float.infinity;
+                max = Float.neg_infinity;
+                samples = Array.make window 0.0;
+              }
+            in
+            Hashtbl.replace s.hists name h;
+            h
         in
-        Hashtbl.replace hists_tbl name h;
-        h
-    in
-    h.samples.(h.count mod window) <- v;
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    if v < h.min then h.min <- v;
-    if v > h.max then h.max <- v
+        h.samples.(h.count mod window) <- v;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min then h.min <- v;
+        if v > h.max then h.max <- v)
   end
 
-let counter name =
-  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+(* --- merged, purely-functional reads --- *)
 
-let counters () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
-  |> List.sort compare
+type hist_state = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_samples : float array;
+}
+
+let hist_state_of (h : hist) =
+  let n = Stdlib.min h.count window in
+  {
+    h_count = h.count;
+    h_sum = h.sum;
+    h_min = h.min;
+    h_max = h.max;
+    h_samples = Array.sub h.samples 0 n;
+  }
+
+let merge_hist_state a b =
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Float.min a.h_min b.h_min;
+    h_max = Float.max a.h_max b.h_max;
+    h_samples = Array.append a.h_samples b.h_samples;
+  }
+
+(* [dump] copies out of every shard under its lock and merges the
+   copies, so a read never mutates shard state: reading a shard twice
+   (or concurrently from two consumers) cannot double-count, and
+   [h_count]/[h_sum]/[h_min]/[h_max] stay exact however many shards a
+   metric was recorded on.  Retained samples (for percentiles) are
+   merged and sorted, making the result independent of shard
+   registration order. *)
+let dump () =
+  let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let hists_tbl : (string, hist_state) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.iter
+            (fun k r ->
+              let prev =
+                Option.value ~default:0 (Hashtbl.find_opt counters_tbl k)
+              in
+              Hashtbl.replace counters_tbl k (prev + !r))
+            s.counters;
+          Hashtbl.iter
+            (fun k h ->
+              let st = hist_state_of h in
+              match Hashtbl.find_opt hists_tbl k with
+              | Some prev ->
+                Hashtbl.replace hists_tbl k (merge_hist_state prev st)
+              | None -> Hashtbl.replace hists_tbl k st)
+            s.hists))
+    (all_shards ());
+  let counters =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl []
+    |> List.sort compare
+  in
+  let hists =
+    Hashtbl.fold
+      (fun k st acc ->
+        Array.sort compare st.h_samples;
+        (k, st) :: acc)
+      hists_tbl []
+    |> List.sort compare
+  in
+  (counters, hists)
+
+let counter name =
+  List.fold_left
+    (fun acc s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.counters name with
+          | Some r -> acc + !r
+          | None -> acc))
+    0 (all_shards ())
+
+let counters () = fst (dump ())
 
 type summary = {
   count : int;
@@ -62,28 +172,32 @@ type summary = {
   p99 : float;
 }
 
-let summary_of_hist (h : hist) =
-  let n = Stdlib.min h.count window in
-  let a = Array.sub h.samples 0 n in
+let summary_of_state (st : hist_state) =
+  let a = Array.copy st.h_samples in
   Array.sort compare a;
   {
-    count = h.count;
-    sum = h.sum;
-    min = h.min;
-    max = h.max;
-    mean = (if h.count = 0 then Float.nan else h.sum /. float_of_int h.count);
+    count = st.h_count;
+    sum = st.h_sum;
+    min = st.h_min;
+    max = st.h_max;
+    mean =
+      (if st.h_count = 0 then Float.nan
+       else st.h_sum /. float_of_int st.h_count);
     p50 = Stats.percentile_sorted_array 50.0 a;
     p90 = Stats.percentile_sorted_array 90.0 a;
     p99 = Stats.percentile_sorted_array 99.0 a;
   }
 
 let summary name =
-  Option.map summary_of_hist (Hashtbl.find_opt hists_tbl name)
+  Option.map summary_of_state (List.assoc_opt name (snd (dump ())))
 
 let histograms () =
-  Hashtbl.fold (fun k h acc -> (k, summary_of_hist h) :: acc) hists_tbl []
-  |> List.sort compare
+  List.map (fun (k, st) -> (k, summary_of_state st)) (snd (dump ()))
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset hists_tbl
+  List.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.counters;
+          Hashtbl.reset s.hists))
+    (all_shards ())

@@ -10,6 +10,7 @@ type event = {
   id : int;
   parent : int;
   depth : int;
+  domain : int;
   start_wall : float;
   dur_wall : float;
   dur_cpu : float;
@@ -21,44 +22,92 @@ type open_span = {
   o_id : int;
   o_parent : int;
   o_depth : int;
+  o_domain : int;
   o_start_wall : float;
   o_start_cpu : float;
   mutable o_attrs : (string * attr) list;
 }
 
-let next_id = ref 0
-let stack : open_span list ref = ref []
-let events_rev : event list ref = ref []
-let num_events = ref 0
-let dropped = ref 0
-let max_events = ref 1_000_000
+(* Per-domain state reached through Domain.DLS.  The span stack is only
+   ever touched by its owning domain (open/close/add_attr), so it needs
+   no lock; the completed-event buffer is drained by readers on other
+   domains, so pushes and drains go through the state's mutex.  States
+   of terminated domains stay registered so their spans survive into
+   merged reads. *)
+type state = {
+  st_lock : Mutex.t;
+  st_domain : int;
+  mutable st_stack : open_span list;
+  mutable st_events_rev : (int * event) list;  (** (completion seq, event) *)
+}
 
-let set_max_events n = max_events := max 0 n
-let span_count () = !num_events
-let dropped_count () = !dropped
-let current_depth () = List.length !stack
-let events () = List.rev !events_rev
+let registry_lock = Mutex.create ()
+let states : state list ref = ref []
+
+let make_state () =
+  let st =
+    {
+      st_lock = Mutex.create ();
+      st_domain = (Domain.self () :> int);
+      st_stack = [];
+      st_events_rev = [];
+    }
+  in
+  Mutex.protect registry_lock (fun () -> states := st :: !states);
+  st
+
+let state_key : state Domain.DLS.key = Domain.DLS.new_key make_state
+let my_state () = Domain.DLS.get state_key
+let all_states () = Mutex.protect registry_lock (fun () -> !states)
+
+(* Ids and the buffer cap are process-global: ids stay unique across
+   domains and the cap bounds total memory, not per-domain memory. *)
+let next_id = Atomic.make 0
+let next_seq = Atomic.make 0
+let num_events = Atomic.make 0
+let dropped = Atomic.make 0
+let max_events = Atomic.make 1_000_000
+
+let set_max_events n = Atomic.set max_events (max 0 n)
+let span_count () = Atomic.get num_events
+let dropped_count () = Atomic.get dropped
+let current_depth () = List.length (my_state ()).st_stack
+let domains_seen () = List.length (all_states ())
+
+let events () =
+  List.concat_map
+    (fun st -> Mutex.protect st.st_lock (fun () -> st.st_events_rev))
+    (all_states ())
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
 
 let reset () =
-  events_rev := [];
-  num_events := 0;
-  dropped := 0
+  List.iter
+    (fun st -> Mutex.protect st.st_lock (fun () -> st.st_events_rev <- []))
+    (all_states ());
+  Atomic.set num_events 0;
+  Atomic.set dropped 0
 
-let record ev =
-  if !num_events >= !max_events then incr dropped
+(* Admission via fetch_and_add: each successful record permanently
+   consumes one unit of the cap, so at most [max_events] events are ever
+   buffered, exactly, even under concurrent recording. *)
+let record st ev =
+  let n = Atomic.fetch_and_add num_events 1 in
+  if n >= Atomic.get max_events then begin
+    Atomic.decr num_events;
+    Atomic.incr dropped
+  end
   else begin
-    events_rev := ev :: !events_rev;
-    incr num_events
+    let seq = Atomic.fetch_and_add next_seq 1 in
+    Mutex.protect st.st_lock (fun () ->
+        st.st_events_rev <- (seq, ev) :: st.st_events_rev)
   end
 
-let fresh_id () =
-  let id = !next_id in
-  incr next_id;
-  id
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
-let open_span attrs name =
+let open_span st attrs name =
   let parent, depth =
-    match !stack with
+    match st.st_stack with
     | sp :: _ -> (sp.o_id, sp.o_depth + 1)
     | [] -> (-1, 0)
   in
@@ -68,33 +117,39 @@ let open_span attrs name =
       o_id = fresh_id ();
       o_parent = parent;
       o_depth = depth;
+      o_domain = st.st_domain;
       o_start_wall = Clock.wall ();
       o_start_cpu = Clock.cpu ();
       o_attrs = attrs;
     }
   in
-  stack := sp :: !stack;
+  st.st_stack <- sp :: st.st_stack;
   sp
 
-let close_span ?extra sp =
+let close_span ?extra st sp =
   let dur_wall = Clock.wall () -. sp.o_start_wall in
   let dur_cpu = Clock.cpu () -. sp.o_start_cpu in
-  (* Defensive unwind: pop down to (and including) [sp] so a call site
-     that leaked an open span cannot poison the stack forever. *)
+  (* The domain-local stack is restored unconditionally, before and
+     independently of recording: even when the event buffer is full and
+     the event is dropped (or the close is part of an exception unwind),
+     the stack must not keep the dead span. The defensive pop walks down
+     to (and including) [sp] so a call site that leaked an open span
+     cannot poison the stack forever. *)
   let rec pop = function
     | s :: rest -> if s == sp then rest else pop rest
     | [] -> []
   in
-  stack := pop !stack;
+  st.st_stack <- pop st.st_stack;
   let attrs =
     match extra with None -> sp.o_attrs | Some e -> e @ sp.o_attrs
   in
-  record
+  record st
     {
       name = sp.o_name;
       id = sp.o_id;
       parent = sp.o_parent;
       depth = sp.o_depth;
+      domain = sp.o_domain;
       start_wall = sp.o_start_wall;
       dur_wall;
       dur_cpu;
@@ -104,13 +159,14 @@ let close_span ?extra sp =
 let with_span ?(attrs = []) name f =
   if not (Config.enabled ()) then f ()
   else begin
-    let sp = open_span attrs name in
+    let st = my_state () in
+    let sp = open_span st attrs name in
     match f () with
     | v ->
-      close_span sp;
+      close_span st sp;
       v
     | exception e ->
-      close_span ~extra:[ ("exn", String (Printexc.to_string e)) ] sp;
+      close_span ~extra:[ ("exn", String (Printexc.to_string e)) ] st sp;
       raise e
   end
 
@@ -121,17 +177,19 @@ let timed ?attrs name f =
 
 let instant ?(attrs = []) name =
   if Config.enabled () then begin
+    let st = my_state () in
     let parent, depth =
-      match !stack with
+      match st.st_stack with
       | sp :: _ -> (sp.o_id, sp.o_depth + 1)
       | [] -> (-1, 0)
     in
-    record
+    record st
       {
         name;
         id = fresh_id ();
         parent;
         depth;
+        domain = st.st_domain;
         start_wall = Clock.wall ();
         dur_wall = 0.0;
         dur_cpu = 0.0;
@@ -141,6 +199,6 @@ let instant ?(attrs = []) name =
 
 let add_attr key value =
   if Config.enabled () then
-    match !stack with
+    match (my_state ()).st_stack with
     | sp :: _ -> sp.o_attrs <- (key, value) :: sp.o_attrs
     | [] -> ()

@@ -1,15 +1,21 @@
-(** Hierarchical spans with wall-clock {e and} CPU durations.
+(** Hierarchical spans with wall-clock {e and} CPU durations, safe under
+    OCaml 5 domain parallelism.
 
-    A span is opened with {!with_span}, nests via a process-global span
-    stack (the pipeline is single-domain; a domain-local stack is the
-    natural extension if that changes), unwinds correctly on exceptions
-    (the span is closed and tagged with an ["exn"] attribute), and is
-    recorded into an in-memory buffer drained by {!Exporter}.
+    A span is opened with {!with_span} and nests via a {e domain-local}
+    span stack ([Domain.DLS]): each domain owns an independent stack and
+    completed-event buffer, so concurrent compiles on different domains
+    record without contention and without corrupting each other's
+    parentage. Events carry their domain id, span ids are unique across
+    domains, and {!events} drains all per-domain buffers into one stream
+    ordered by completion. A span unwinds correctly on exceptions (it is
+    closed and tagged with an ["exn"] attribute) and the stack is
+    restored even when the event buffer is full and the closing event is
+    dropped.
 
     Naming convention: [<library>.<module>.<operation>], e.g.
     ["backend.router.route_layers"] or ["core.compile.mapping"].
 
-    When tracing is disabled ({!Config.enabled}[ () = false]),
+    When recording is disabled ({!Config.enabled}[ () = false]),
     {!with_span} is a single [bool] dereference plus a direct call of the
     thunk — no allocation, no clock reads. *)
 
@@ -26,9 +32,11 @@ val bool : bool -> attr
 
 type event = {
   name : string;
-  id : int;  (** unique per process, allocation order *)
-  parent : int;  (** [id] of the enclosing span, [-1] for roots *)
-  depth : int;  (** nesting depth, [0] for roots *)
+  id : int;  (** unique per process across domains, allocation order *)
+  parent : int;
+      (** [id] of the enclosing span on the same domain, [-1] for roots *)
+  depth : int;  (** nesting depth within its domain, [0] for roots *)
+  domain : int;  (** id of the domain that recorded the span *)
   start_wall : float;  (** absolute wall-clock start ([Clock.wall]) *)
   dur_wall : float;  (** wall-clock seconds *)
   dur_cpu : float;  (** CPU seconds *)
@@ -36,10 +44,10 @@ type event = {
 }
 
 val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
-(** [with_span name f] runs [f ()]; when tracing is enabled, the call is
-    recorded as a span named [name] nested under the innermost open
-    span. Exceptions propagate after the span is closed and tagged with
-    an ["exn"] attribute. *)
+(** [with_span name f] runs [f ()]; when recording is enabled, the call
+    is recorded as a span named [name] nested under the innermost open
+    span of the calling domain. Exceptions propagate after the span is
+    closed and tagged with an ["exn"] attribute. *)
 
 val timed : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * float * float
 (** [timed name f] is [with_span name f] that {e always} measures and
@@ -48,25 +56,33 @@ val timed : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * float 
     [Compile.result.phase_times]. *)
 
 val instant : ?attrs:(string * attr) list -> string -> unit
-(** Zero-duration marker event at the current stack position. *)
+(** Zero-duration marker event at the calling domain's current stack
+    position. *)
 
 val add_attr : string -> attr -> unit
-(** Attach an attribute to the innermost open span (no-op when tracing
-    is disabled or no span is open). *)
+(** Attach an attribute to the calling domain's innermost open span
+    (no-op when recording is disabled or no span is open). *)
 
 val events : unit -> event list
-(** Completed spans in completion order (children before their parent). *)
+(** Completed spans from every domain, in global completion order
+    (children before their parent). *)
 
 val span_count : unit -> int
 val dropped_count : unit -> int
 (** Spans discarded after the buffer cap was hit. *)
 
 val set_max_events : int -> unit
-(** Buffer cap; default 1_000_000. Further spans are counted as dropped. *)
+(** Process-wide buffer cap across all domains; default 1_000_000.
+    Further spans are counted as dropped (their stacks still unwind). *)
 
 val current_depth : unit -> int
-(** Number of currently open spans (for tests / invariant checks). *)
+(** Number of currently open spans on the calling domain (for tests /
+    invariant checks). *)
+
+val domains_seen : unit -> int
+(** Number of domains that ever recorded a span (including terminated
+    ones; for tests/diagnostics). *)
 
 val reset : unit -> unit
-(** Drop all recorded events and dropped counts; open spans survive
-    (they will record on close). *)
+(** Drop all recorded events and dropped counts on every domain; open
+    spans survive (they will record on close). *)

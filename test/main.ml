@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("obs-domains", Test_obs_domains.suite);
       ("graph", Test_graph.suite);
       ("circuit", Test_circuit.suite);
       ("optimize+dag", Test_optimize.suite);

@@ -7,6 +7,10 @@ module Trace = Qaoa_obs.Trace
 module Metrics = Qaoa_obs.Metrics_registry
 module Exporter = Qaoa_obs.Exporter
 module Json = Qaoa_obs.Json
+module Snapshot = Qaoa_obs.Snapshot
+module Expose = Qaoa_obs.Expose
+module Flamegraph = Qaoa_obs.Flamegraph
+module Bench_diff = Qaoa_obs.Bench_diff
 
 (* Every test runs against a clean, enabled registry and leaves tracing
    disabled so the rest of the suite (and the at-exit flush) sees the
@@ -129,17 +133,29 @@ let test_chrome_roundtrip () =
       Trace.with_span "route" (fun () -> ignore (Sys.opaque_identity 1)));
   Metrics.incr "swaps" ~by:3;
   let doc = Json.of_string (Exporter.chrome_string ()) in
-  let evs =
+  let all_evs =
     match Json.member "traceEvents" doc with
     | Some (Json.List evs) -> evs
     | _ -> Alcotest.fail "missing traceEvents"
   in
+  let is_meta ev = Json.member "ph" ev = Some (Json.String "M") in
+  (* every domain lane is named through a thread_name metadata event *)
+  Alcotest.(check bool)
+    "thread_name metadata present" true
+    (List.exists
+       (fun ev ->
+         is_meta ev && Json.member "name" ev = Some (Json.String "thread_name"))
+       all_evs);
+  let evs = List.filter (fun ev -> not (is_meta ev)) all_evs in
   Alcotest.(check int) "one complete event per span" 2 (List.length evs);
   List.iter
     (fun ev ->
       (match Json.member "ph" ev with
       | Some (Json.String "X") -> ()
       | _ -> Alcotest.fail "expected complete events (ph=X)");
+      (match Json.member "tid" ev with
+      | Some (Json.Int _) -> ()
+      | _ -> Alcotest.fail "expected a domain id as tid");
       match (Json.member "ts" ev, Json.member "dur" ev) with
       | Some ts, Some dur ->
         let ts = Option.get (Json.to_float ts) in
@@ -237,6 +253,239 @@ let test_report_renders () =
       Alcotest.(check bool) (needle ^ " in report") true (contains needle))
     [ "a"; "b"; "counters:"; "histograms" ]
 
+(* Satellite invariant: reads are pure. Reading the registry (or
+   capturing a snapshot) twice with no intervening recording must yield
+   identical results — a drain-and-add reader would double-count. *)
+let test_reads_are_pure () =
+  Metrics.incr "pure.counter" ~by:5;
+  for i = 1 to 10 do
+    Metrics.observe "pure.hist" (float_of_int i)
+  done;
+  Trace.with_span "pure.span" (fun () -> ());
+  let c1 = Metrics.counters () and c2 = Metrics.counters () in
+  Alcotest.(check bool) "counters read twice equal" true (c1 = c2);
+  let h1 = Metrics.histograms () and h2 = Metrics.histograms () in
+  Alcotest.(check bool) "histograms read twice equal" true (h1 = h2);
+  let s1 = Snapshot.capture () and s2 = Snapshot.capture () in
+  Alcotest.(check bool) "snapshots equal" true (Snapshot.equal s1 s2);
+  (match Metrics.summary "pure.hist" with
+  | Some s ->
+    Alcotest.(check int) "count exact after repeated reads" 10 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "sum exact" 55.0 s.Metrics.sum
+  | None -> Alcotest.fail "histogram missing");
+  Alcotest.(check int) "counter exact" 5 (Metrics.counter "pure.counter")
+
+(* Satellite fix: when the event buffer is full, a close (including an
+   exception unwind) drops the event but must still restore the
+   domain-local span stack. *)
+let test_buffer_full_unwind () =
+  Trace.set_max_events 1;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_max_events 1_000_000)
+    (fun () ->
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "inner" (fun () ->
+                 Trace.with_span "boom" (fun () -> failwith "exploded")))
+       with Failure _ -> ());
+      Alcotest.(check int) "stack restored despite drops" 0
+        (Trace.current_depth ());
+      Alcotest.(check int) "only one span buffered" 1 (Trace.span_count ());
+      Alcotest.(check int) "the rest counted as dropped" 2
+        (Trace.dropped_count ());
+      (* recording still works at root depth after the unwind *)
+      Trace.reset ();
+      Trace.with_span "after" (fun () -> ());
+      match Trace.events () with
+      | [ ev ] ->
+        Alcotest.(check string) "fresh span name" "after" ev.Trace.name;
+        Alcotest.(check int) "fresh root parent" (-1) ev.Trace.parent;
+        Alcotest.(check int) "fresh root depth" 0 ev.Trace.depth
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec at i =
+    i + n <= m && (String.sub haystack i n = needle || at (i + 1))
+  in
+  at 0
+
+let test_prometheus_exposition () =
+  Metrics.incr "router.swaps_inserted" ~by:7;
+  for i = 1 to 100 do
+    Metrics.observe "router.layer_size" (float_of_int i)
+  done;
+  Trace.with_span "core.compile" (fun () -> ());
+  let text = Expose.prometheus_string () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+    [
+      "# TYPE qaoa_router_swaps_inserted counter";
+      "qaoa_router_swaps_inserted 7";
+      "# TYPE qaoa_router_layer_size summary";
+      "qaoa_router_layer_size{quantile=\"0.5\"}";
+      "qaoa_router_layer_size_count 100";
+      "qaoa_router_layer_size_sum 5050";
+      "qaoa_span_count{name=\"core.compile\"} 1";
+      "qaoa_span_wall_seconds_total{name=\"core.compile\"}";
+      "qaoa_dropped_spans_total 0";
+    ]
+
+let test_json_exposition () =
+  Metrics.incr "swaps" ~by:3;
+  Metrics.observe "h" 2.0;
+  Trace.with_span "c" (fun () -> ());
+  let doc = Json.of_string (Expose.json_string ()) in
+  (match Option.bind (Json.member "counters" doc) (Json.member "swaps") with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "counter lost in json exposition");
+  (match
+     Option.bind (Json.member "histograms" doc) (fun h ->
+         Option.bind (Json.member "h" h) (Json.member "count"))
+   with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "histogram count lost");
+  match
+    Option.bind (Json.member "spans" doc) (fun s ->
+        Option.bind (Json.member "c" s) (Json.member "count"))
+  with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "span roll-up lost"
+
+(* Deterministic flamegraph check on a hand-built snapshot: self time is
+   a span's wall duration minus its direct children's. *)
+let test_flamegraph_folded () =
+  let ev ?(domain = 0) ~id ~parent ~depth ~start ~dur name =
+    {
+      Trace.name;
+      id;
+      parent;
+      depth;
+      domain;
+      start_wall = start;
+      dur_wall = dur;
+      dur_cpu = dur;
+      attrs = [];
+    }
+  in
+  let snapshot =
+    {
+      Snapshot.counters = [];
+      histograms = [];
+      spans =
+        [
+          ev ~id:0 ~parent:(-1) ~depth:0 ~start:0.0 ~dur:0.010 "compile";
+          ev ~id:1 ~parent:0 ~depth:1 ~start:0.001 ~dur:0.004 "route";
+          ev ~id:2 ~parent:0 ~depth:1 ~start:0.006 ~dur:0.002 "route";
+        ];
+      dropped_spans = 0;
+    }
+  in
+  let folded = Flamegraph.folded ~snapshot () in
+  Alcotest.(check int) "two distinct stacks" 2 (List.length folded);
+  (match List.assoc_opt "compile" folded with
+  | Some self -> Alcotest.(check (float 1e-9)) "parent self time" 0.004 self
+  | None -> Alcotest.fail "missing root stack");
+  (match List.assoc_opt "compile;route" folded with
+  | Some self ->
+    Alcotest.(check (float 1e-9)) "leaf self time aggregates" 0.006 self
+  | None -> Alcotest.fail "missing leaf stack");
+  let text = Flamegraph.folded_string ~snapshot () in
+  Alcotest.(check bool) "folded lines" true
+    (contains text "compile 4000\n" && contains text "compile;route 6000\n");
+  (* multi-domain streams get a synthetic per-domain root frame *)
+  let multi =
+    {
+      snapshot with
+      Snapshot.spans =
+        [
+          ev ~id:0 ~parent:(-1) ~depth:0 ~start:0.0 ~dur:0.010 "compile";
+          ev ~domain:3 ~id:1 ~parent:(-1) ~depth:0 ~start:0.0 ~dur:0.010
+            "compile";
+        ];
+    }
+  in
+  let folded = Flamegraph.folded ~snapshot:multi () in
+  Alcotest.(check bool) "per-domain roots" true
+    (List.mem_assoc "domain-0;compile" folded
+    && List.mem_assoc "domain-3;compile" folded)
+
+let bench_doc kernels resilience =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("scale", Json.String "smoke");
+      ( "kernels",
+        Json.Assoc
+          (List.map
+             (fun (name, ms) ->
+               (name, Json.Assoc [ ("ms_per_run", Json.Float ms) ]))
+             kernels) );
+      ( "resilience",
+        Json.Assoc (List.map (fun (k, v) -> (k, Json.Int v)) resilience) );
+    ]
+
+let test_bench_diff () =
+  let baseline =
+    bench_doc
+      [ ("a", 1.0); ("b", 2.0); ("tiny", 0.001) ]
+      [ ("instances", 10); ("compiled", 10); ("exhausted", 0) ]
+  in
+  (* identity: comparing a baseline with itself is clean *)
+  let self =
+    Bench_diff.compare_docs ~baseline ~current:baseline ()
+  in
+  Alcotest.(check bool) "self-diff passes" false (Bench_diff.regressed self);
+  (* a 3x slowdown on b and a new exhausted compile both gate *)
+  let current =
+    bench_doc
+      [ ("a", 1.5); ("b", 6.0); ("tiny", 0.5) ]
+      [ ("instances", 10); ("compiled", 9); ("exhausted", 1) ]
+  in
+  let report = Bench_diff.compare_docs ~baseline ~current () in
+  Alcotest.(check int) "two gated regressions" 2 (Bench_diff.regressions report);
+  let status_of metric =
+    match
+      List.find_opt (fun r -> r.Bench_diff.metric = metric) report.Bench_diff.rows
+    with
+    | Some r -> r.Bench_diff.status
+    | None -> Alcotest.failf "row %s missing" metric
+  in
+  Alcotest.(check bool) "+50%% within default gate" true
+    (status_of "kernel.a" = Bench_diff.Pass);
+  Alcotest.(check bool) "3x slowdown regresses" true
+    (status_of "kernel.b" = Bench_diff.Regressed);
+  Alcotest.(check bool) "below noise floor is informational" true
+    (status_of "kernel.tiny" = Bench_diff.Info);
+  Alcotest.(check bool) "exhausted increase regresses" true
+    (status_of "resilience.exhausted" = Bench_diff.Regressed);
+  (* per-metric override loosens the gate *)
+  let loose =
+    Bench_diff.compare_docs ~overrides:[ ("kernel.b", 5.0) ] ~baseline ~current
+      ()
+  in
+  Alcotest.(check bool) "override unblocks kernel.b" true
+    (List.exists
+       (fun r ->
+         r.Bench_diff.metric = "kernel.b" && r.Bench_diff.status = Bench_diff.Pass)
+       loose.Bench_diff.rows);
+  (* a gated kernel vanishing from the current run is a broken contract *)
+  let removed =
+    Bench_diff.compare_docs ~baseline
+      ~current:
+        (bench_doc [ ("a", 1.0) ] [ ("instances", 10); ("exhausted", 0) ])
+      ()
+  in
+  Alcotest.(check bool) "removed kernel regresses" true
+    (Bench_diff.regressed removed);
+  (* text and json reports render *)
+  Alcotest.(check bool) "text report mentions REGRESSED" true
+    (contains (Bench_diff.to_text report) "REGRESSED");
+  match Json.member "regressions" (Bench_diff.to_json report) with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "json report regression count"
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick (with_tracing test_span_nesting);
@@ -254,4 +503,13 @@ let suite =
     Alcotest.test_case "json parse/print round-trip" `Quick test_json_parser;
     Alcotest.test_case "QAOA_TRACE value parsing" `Quick test_config_parsing;
     Alcotest.test_case "report renders" `Quick (with_tracing test_report_renders);
+    Alcotest.test_case "reads are pure (no double count)" `Quick
+      (with_tracing test_reads_are_pure);
+    Alcotest.test_case "buffer-full exception unwind" `Quick
+      (with_tracing test_buffer_full_unwind);
+    Alcotest.test_case "prometheus exposition" `Quick
+      (with_tracing test_prometheus_exposition);
+    Alcotest.test_case "json exposition" `Quick (with_tracing test_json_exposition);
+    Alcotest.test_case "flamegraph folded stacks" `Quick test_flamegraph_folded;
+    Alcotest.test_case "bench regression diff" `Quick test_bench_diff;
   ]
