@@ -11,6 +11,9 @@ module Compile = Qaoa_core.Compile
 module Topologies = Qaoa_hardware.Topologies
 module Device = Qaoa_hardware.Device
 module Rng = Qaoa_util.Rng
+module Serve = Qaoa_serve.Serve
+module Pool = Qaoa_serve.Pool
+module Cache = Qaoa_serve.Cache
 open Bechamel
 open Toolkit
 
@@ -98,6 +101,72 @@ let run_bechamel () =
     rows;
   Qaoa_util.Table.print t;
   rows
+
+(* The serving layer, timed as request throughput: one corpus, served at
+   1 and 4 worker domains, each cold (fresh artifact cache) and warm
+   (cache primed by a prior pass over the same corpus).  Bechamel's
+   staged micro-runs fit poorly around a multi-second batch with
+   per-repetition cache state, so these four kernels are hand-timed
+   (best of 3) and appended to the same rows/JSON as the compile
+   kernels, in ns per request. *)
+let run_serve_bench ~scale =
+  let count =
+    match scale with
+    | Figures.Smoke -> 24
+    | Figures.Default -> 96
+    | Figures.Full -> 256
+  in
+  let corpus = Serve.gen_corpus ~seed:17 ~count () in
+  let config ~workers cache =
+    { Serve.workers; queue_capacity = 64; sort = false; timings = false; cache }
+  in
+  let time_pass ~workers ~warm =
+    let reps = 3 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let cache = Some (Cache.create ~capacity:4096) in
+      if warm then ignore (Serve.run_lines (config ~workers cache) corpus);
+      let t0 = Qaoa_obs.Clock.wall () in
+      ignore (Serve.run_lines (config ~workers cache) corpus);
+      let dt = Qaoa_obs.Clock.wall () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let cases =
+    [ (1, false); (1, true); (4, false); (4, true) ]
+    |> List.map (fun (workers, warm) ->
+           let s = time_pass ~workers ~warm in
+           let name =
+             Printf.sprintf "serve/tokyo-%dd-%s" workers
+               (if warm then "warm" else "cold")
+           in
+           (name, workers, warm, s))
+  in
+  Printf.printf
+    "\n=== qaoa-serve throughput (%d requests, best of 3, %d cores) ===\n"
+    count
+    (Domain.recommended_domain_count ());
+  let t = Qaoa_util.Table.create [ "kernel"; "req/s"; "ms/req" ] in
+  List.iter
+    (fun (name, _, _, s) ->
+      Qaoa_util.Table.add_float_row t name
+        [ float_of_int count /. s; s *. 1e3 /. float_of_int count ])
+    cases;
+  Qaoa_util.Table.print t;
+  let seconds_of w warm =
+    List.find_map
+      (fun (_, w', warm', s) -> if w' = w && warm' = warm then Some s else None)
+      cases
+  in
+  (match (seconds_of 1 true, seconds_of 4 true) with
+  | Some s1, Some s4 ->
+    (* informational: a single-core host can't show a parallel speedup *)
+    Printf.printf "warm-cache speedup 1d -> 4d: %.2fx\n" (s1 /. s4)
+  | _ -> ());
+  List.map
+    (fun (name, _, _, s) -> (name, s *. 1e9 /. float_of_int count, None))
+    cases
 
 (* Aggregate of the fault-injection sweep: compile survival and fallback
    behaviour across all scenarios and workloads. *)
@@ -226,4 +295,5 @@ let () =
     ~scale sections;
   Printf.printf "wrote %s/report.md\n" dir;
   let rows = run_bechamel () in
-  write_bench_json ~dir ~scale ~resilience rows
+  let serve_rows = run_serve_bench ~scale in
+  write_bench_json ~dir ~scale ~resilience (rows @ serve_rows)

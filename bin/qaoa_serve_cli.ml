@@ -1,0 +1,166 @@
+(* qaoa-serve: JSONL batch compilation across a pool of domains.
+
+   Examples:
+     qaoa-serve --gen-corpus 200 --seed 3 > corpus.jsonl
+     qaoa-serve --input corpus.jsonl --workers 4 --sort --output out.jsonl
+     cat corpus.jsonl | qaoa-serve --workers 1 --stats
+
+   One request per input line, one response per output line.  Malformed
+   lines produce structured {"ok":false,...} responses and never change
+   the exit status: 0 = every line answered, 3 = the service itself
+   failed (unreadable file, bad flag interplay, ...). *)
+
+module Serve = Qaoa_serve.Serve
+module Pool = Qaoa_serve.Pool
+module Cache = Qaoa_serve.Cache
+open Cmdliner
+
+let with_in path f =
+  match path with
+  | None -> f stdin
+  | Some p ->
+    let ic = open_in p in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let with_out path f =
+  match path with
+  | None -> f stdout
+  | Some p ->
+    let oc = open_out p in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let print_stats oc (stats : Serve.stats) =
+  Printf.fprintf oc "qaoa-serve: %d requests, %d errors" stats.Serve.requests
+    stats.Serve.errors;
+  (match stats.Serve.cache_stats with
+  | Some c ->
+    Printf.fprintf oc "; cache %d hits / %d misses / %d evictions (size %d)"
+      c.Cache.hits c.Cache.misses c.Cache.evictions c.Cache.size
+  | None -> ());
+  output_char oc '\n'
+
+let run () gen_corpus gen_device input output workers queue sort timings cache
+    stats seed =
+  try
+    match gen_corpus with
+    | Some count ->
+      if count < 1 then failwith "--gen-corpus expects a positive count";
+      with_out output (fun oc ->
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            (Serve.gen_corpus ~device:gen_device ~seed ~count ());
+          flush oc);
+      0
+    | None ->
+      let workers = if workers = 0 then Pool.default_workers () else workers in
+      if workers < 1 then failwith "--workers expects a positive count (or 0 for auto)";
+      if queue < 1 then failwith "--queue expects a positive capacity";
+      if cache < 0 then failwith "--cache expects a capacity >= 0";
+      let config =
+        {
+          Serve.workers;
+          queue_capacity = queue;
+          sort;
+          timings;
+          cache = (if cache = 0 then None else Some (Cache.create ~capacity:cache));
+        }
+      in
+      let st = with_in input (fun ic -> with_out output (Serve.run config ic)) in
+      if stats then print_stats stderr st;
+      0
+  with Sys_error msg | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "qaoa-serve: %s\n" msg;
+    3
+
+let cmd =
+  let gen_corpus =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-corpus" ] ~docv:"N"
+          ~doc:
+            "Instead of serving, emit a deterministic N-request JSONL corpus \
+             (seeded by --seed) and exit.")
+  in
+  let gen_device =
+    Arg.(
+      value & opt string "tokyo"
+      & info [ "gen-device" ] ~docv:"NAME"
+          ~doc:"Device the generated corpus targets (with --gen-corpus).")
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input"; "i" ] ~docv:"FILE"
+          ~doc:"Read requests from FILE instead of stdin.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write responses to FILE instead of stdout.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains; 0 (the default) picks the machine's \
+             recommended domain count.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded number of requests in flight at once.")
+  in
+  let sort =
+    Arg.(
+      value & flag
+      & info [ "sort" ]
+          ~doc:
+            "Sort responses by request id instead of emitting them in input \
+             order.  Both orders are byte-identical across worker counts.")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Append per-response cached/ms diagnostics (non-deterministic; \
+             leave off when diffing runs).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Compiled-artifact cache capacity in entries; 0 disables it.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print request/error/cache totals to stderr when done.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 3
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Corpus generator seed.")
+  in
+  let term =
+    Term.(
+      const run $ Qaoa_cli.setup $ gen_corpus $ gen_device $ input $ output
+      $ workers $ queue $ sort $ timings $ cache $ stats $ seed)
+  in
+  Cmd.v
+    (Cmd.info "qaoa-serve" ~version:"1.0.0"
+       ~doc:
+         "Batch QAOA compilation service: JSONL requests over a domain pool \
+          with an artifact cache")
+    term
+
+let () = exit (Cmd.eval' ~term_err:3 cmd)

@@ -22,6 +22,12 @@
     measurement outcomes (or stitch further partial circuits - the IC/VIC
     use case).
 
+    Routing holds no module-level mutable state: the seeded tie-break
+    RNG and all work queues live in a per-[route] call record, and the
+    shared distance matrices ({!Qaoa_hardware.Profile}) are read-only
+    after construction - so concurrent [route] calls from multiple
+    domains are safe and per-seed deterministic.
+
     [Measure] gates are deferred: they are stripped from the layers and
     re-emitted after all routing, on each logical qubit's final physical
     wire.  Emitting them in place was unsound - a SWAP inserted for a

@@ -138,6 +138,17 @@ val compile :
   Ansatz.params ->
   result
 (** Compile the p-level QAOA ansatz of the problem for the device.
+
+    {b Reentrancy.}  [compile] is safe to call concurrently from
+    multiple domains on shared [device]/[problem] values (the serving
+    layer's worker pool does exactly that): every randomized choice
+    draws from a per-call [Rng.create options.seed], the router/SABRE
+    tie-break streams are seeded per call from [options.router.seed],
+    and the only cross-call state - the per-device distance-matrix
+    memo ({!Qaoa_hardware.Profile}) and the telemetry registries
+    ({!Qaoa_obs}) - is mutex-guarded or domain-sharded.  Identical
+    (options, strategy, device, problem, params) inputs produce
+    bit-identical circuits on any domain of any worker count.
     @raise Error with the structured taxonomy: [Too_many_qubits] when the
     problem needs more qubits than the device has, [Missing_calibration]
     when VQA/VIC is requested on an uncalibrated device, [Unroutable]

@@ -54,4 +54,13 @@ val complement_degree_sum : t -> int
 (** Sum of degrees = 2 * #edges; exposed for cheap sanity assertions. *)
 
 val equal : t -> t -> bool
+
+val canonical_hash : t -> int
+(** Label-invariant structural hash via Weisfeiler-Leman color
+    refinement: permuting vertex labels (or the order edges were added)
+    never changes the hash.  Used to key the compiled-artifact cache of
+    the serving layer.  Not a complete isomorphism invariant -
+    non-isomorphic graphs may collide, so exact-identity consumers must
+    additionally compare edge lists ({!edges}). *)
+
 val pp : Format.formatter -> t -> unit

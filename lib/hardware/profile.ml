@@ -13,17 +13,32 @@ let connectivity_profile ?order device =
 (* The mapping procedures look distances up on every decision; the paper
    prescribes computing the matrix once per device (Floyd-Warshall) and
    reading it from memory.  Memoize on the physical identity of the
-   coupling graph (devices share it across copies), keeping a small LRU. *)
+   coupling graph (devices share it across copies), keeping a small LRU.
+
+   The cache is shared across domains (the serving layer compiles on a
+   worker pool), so every access holds a mutex.  Computing inside the
+   lock is deliberate: concurrent first requests for the same device
+   then share one Floyd-Warshall run instead of racing duplicates, and
+   the matrices handed out are only ever read afterwards. *)
 let memoize () =
   let cache = ref [] in
+  let lock = Mutex.create () in
   fun key compute ->
+    Mutex.lock lock;
     match List.assq_opt key !cache with
-    | Some m -> m
-    | None ->
-      let m = compute () in
-      let keep = List.filteri (fun i _ -> i < 15) !cache in
-      cache := (key, m) :: keep;
+    | Some m ->
+      Mutex.unlock lock;
       m
+    | None -> (
+      match compute () with
+      | m ->
+        let keep = List.filteri (fun i _ -> i < 15) !cache in
+        cache := (key, m) :: keep;
+        Mutex.unlock lock;
+        m
+      | exception e ->
+        Mutex.unlock lock;
+        raise e)
 
 let hop_cache = memoize ()
 
@@ -54,3 +69,9 @@ let weighted_distances device =
 
 let distance_matrix ~variation_aware device =
   if variation_aware then weighted_distances device else hop_distances device
+
+let precompute device =
+  ignore (hop_distances device : Qaoa_util.Float_matrix.t);
+  match device.Device.calibration with
+  | Some _ -> ignore (weighted_distances device : Qaoa_util.Float_matrix.t)
+  | None -> ()

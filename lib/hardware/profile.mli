@@ -29,3 +29,12 @@ val weighted_distances : Device.t -> Qaoa_util.Float_matrix.t
 val distance_matrix : variation_aware:bool -> Device.t -> Qaoa_util.Float_matrix.t
 (** [hop_distances] or [weighted_distances] according to the flag - the
     single switch distinguishing IC from VIC. *)
+
+val precompute : Device.t -> unit
+(** Warm the per-device distance caches: {!hop_distances} always, and
+    {!weighted_distances} when the device carries a calibration.  The
+    caches are mutex-guarded and the memoized matrices are only ever
+    read after construction, so a pool of worker domains can share one
+    device value read-only; call this from the coordinating domain
+    before spawning workers so none of them pays (or serializes on) the
+    Floyd-Warshall run. *)

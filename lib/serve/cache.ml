@@ -1,0 +1,118 @@
+module Metrics_registry = Qaoa_obs.Metrics_registry
+
+type key = { graph_hash : int; fingerprint : string }
+
+type entry = {
+  body : (string * Qaoa_obs.Json.t) list;
+  mutable last_used : int;  (** logical tick of the most recent access *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  size : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  cap : int;
+  tbl : (key, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let find t key =
+  let r =
+    locked t (fun () ->
+        t.tick <- t.tick + 1;
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.body
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  (match r with
+  | Some _ -> Metrics_registry.incr "serve.cache.hits"
+  | None -> Metrics_registry.incr "serve.cache.misses");
+  r
+
+let evict_lru t =
+  (* O(size) scan; runs only when a genuinely new key arrives at
+     capacity. *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, lu) when lu <= e.last_used -> ()
+      | _ -> victim := Some (k, e.last_used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1;
+    true
+  | None -> false
+
+let store t key body =
+  let evicted =
+    locked t (fun () ->
+        t.tick <- t.tick + 1;
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          (* racing duplicate compute: refresh recency, keep the body
+             (deterministic compilation makes both copies identical) *)
+          e.last_used <- t.tick;
+          false
+        | None ->
+          let evicted =
+            if Hashtbl.length t.tbl >= t.cap then evict_lru t else false
+          in
+          Hashtbl.replace t.tbl key { body; last_used = t.tick };
+          t.inserts <- t.inserts + 1;
+          evicted)
+  in
+  Metrics_registry.incr "serve.cache.inserts";
+  if evicted then Metrics_registry.incr "serve.cache.evictions"
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        evictions = t.evictions;
+        size = Hashtbl.length t.tbl;
+      })

@@ -1,0 +1,51 @@
+(** Compiled-artifact cache for the serving layer.
+
+    Entries are keyed by {!key}: the label-invariant
+    {!Qaoa_graph.Graph.canonical_hash} of the problem graph plus a
+    {e fingerprint} - the canonical rendering of everything else that
+    determines the response body (exact normalized edge list, device,
+    policy, seed and the remaining options; see
+    {!Request.fingerprint}).  The graph hash buckets isomorphic
+    problems together; the fingerprint's exact edge list guarantees a
+    hit is only ever served for a byte-identical problem, so a cached
+    body is always byte-equal to a fresh compile of the same request.
+
+    The cache is mutex-guarded and shared across worker domains.
+    Eviction is least-recently-used over a bounded capacity (the evict
+    scan is O(capacity) - fine at the default thousands of entries).
+
+    Counters (when {!Qaoa_obs} recording is enabled):
+    [serve.cache.hits], [serve.cache.misses], [serve.cache.inserts],
+    [serve.cache.evictions].  The same four tallies are always kept
+    internally and reported by {!stats}, so tests and the CLI summary
+    do not depend on telemetry being configured. *)
+
+type t
+
+type key = { graph_hash : int; fingerprint : string }
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  size : int;  (** current number of entries *)
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1] (use [None] at the
+    serving layer to disable caching instead). *)
+
+val capacity : t -> int
+
+val find : t -> key -> (string * Qaoa_obs.Json.t) list option
+(** Cached response-body fields (without the request id), refreshing
+    the entry's recency.  Counts a hit or a miss. *)
+
+val store : t -> key -> (string * Qaoa_obs.Json.t) list -> unit
+(** Insert (or refresh) the body for a key, evicting the
+    least-recently-used entry when at capacity.  Concurrent stores of
+    the same key are idempotent - compilation is deterministic, so
+    racing workers compute identical bodies. *)
+
+val stats : t -> stats

@@ -1,0 +1,68 @@
+(** JSONL compile-request parsing, normalization and cache keying.
+
+    One request per line.  Schema (unknown fields are rejected so typos
+    fail loudly):
+
+    {v
+    {"id": "r0",                      // required; string (or int, stringified)
+     "graph": {"n": 12,               // XOR "qasm": "<OpenQASM 2.0>"
+               "edges": [[0,1], ...]},
+     "device": "tokyo",               // default "tokyo"
+     "policy": "ic",                  // naive|greedyv|greedye|vqa|qaim|ip|ic|vic
+     "seed": 42, "p": 1,
+     "gamma": 0.7, "beta": 0.4,
+     "packing_limit": 11,             // IC/VIC only; optional
+     "measure": true, "verify": false,
+     "qasm_out": false}               // include compiled OpenQASM in response
+    v}
+
+    Graph requests compile the QAOA-MaxCut ansatz of the edge list with
+    the requested policy ({!Qaoa_core.Compile}).  Qasm requests parse
+    the program with {!Qaoa_circuit.Qasm.of_string} and route it
+    directly through the backend router under the trivial initial
+    mapping - the policy field is ignored for them.
+
+    Edges are normalized at parse time ((min, max), sorted, deduplicated),
+    so every textual spelling of the same graph produces the same
+    {!fingerprint} and the same compiled artifact. *)
+
+type source =
+  | Graph of { n : int; edges : (int * int) list }
+      (** normalized: pairs as [(min, max)], sorted, no duplicates *)
+  | Qasm of string
+
+type t = {
+  id : string;
+  source : source;
+  device : string;
+  policy : Qaoa_core.Compile.strategy;
+      (** [packing_limit], when given, is already folded in *)
+  seed : int;
+  p : int;
+  gamma : float;
+  beta : float;
+  measure : bool;
+  verify : bool;
+  qasm_out : bool;
+}
+
+val of_line : string -> (t, string) result
+(** Parse one JSONL line.  [Error msg] describes the first problem
+    (malformed JSON, missing/unknown field, bad edge, unknown policy,
+    ...). *)
+
+val to_json : t -> Qaoa_obs.Json.t
+(** Re-serialize (normalized form; used by the corpus generator and
+    round-trip tests). *)
+
+val fingerprint : t -> string
+(** Canonical rendering of every field except [id] - exact edge list
+    (or qasm text), device, policy, seed, p, angles (hex floats, so no
+    decimal rounding), measure/verify/qasm_out.  Equal fingerprints
+    imply byte-identical response bodies. *)
+
+val graph_hash : t -> int
+(** {!Qaoa_graph.Graph.canonical_hash} of the problem graph for graph
+    sources; a string hash of the program text for qasm sources. *)
+
+val cache_key : t -> Cache.key

@@ -1,0 +1,328 @@
+module Json = Qaoa_obs.Json
+module Trace = Qaoa_obs.Trace
+module Clock = Qaoa_obs.Clock
+module Metrics_registry = Qaoa_obs.Metrics_registry
+module Compile = Qaoa_core.Compile
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Device = Qaoa_hardware.Device
+module Topologies = Qaoa_hardware.Topologies
+module Profile = Qaoa_hardware.Profile
+module Router = Qaoa_backend.Router
+module Mapping = Qaoa_backend.Mapping
+module Circuit = Qaoa_circuit.Circuit
+module Metrics = Qaoa_circuit.Metrics
+module Qasm = Qaoa_circuit.Qasm
+module Graph = Qaoa_graph.Graph
+module Generators = Qaoa_graph.Generators
+module Rng = Qaoa_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Shared device table: resolve every device name once per run so all
+   workers share one Device.t value - which is what makes the
+   Profile distance-matrix memo (keyed on physical identity) hit. *)
+
+module Devices = struct
+  type t = {
+    lock : Mutex.t;
+    tbl : (string, Device.t option) Hashtbl.t;  (** None = unknown name *)
+  }
+
+  let create () = { lock = Mutex.create (); tbl = Hashtbl.create 8 }
+
+  let resolve t name =
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.tbl name with
+    | Some v ->
+      Mutex.unlock t.lock;
+      v
+    | None ->
+      let v = Topologies.by_name name in
+      Hashtbl.replace t.tbl name v;
+      Mutex.unlock t.lock;
+      (* outside the table lock: Profile has its own mutex and dedups
+         concurrent warms *)
+      Option.iter Profile.precompute v;
+      v
+
+  let prewarm t = List.iter (fun n -> ignore (resolve t n)) [ "tokyo"; "melbourne" ]
+end
+
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  sort : bool;
+  timings : bool;
+  cache : Cache.t option;
+}
+
+let default_config () =
+  {
+    workers = Pool.default_workers ();
+    queue_capacity = 256;
+    sort = false;
+    timings = false;
+    cache = Some (Cache.create ~capacity:4096);
+  }
+
+type stats = {
+  requests : int;
+  errors : int;
+  cache_stats : Cache.stats option;
+}
+
+(* One processed line, ready to render. *)
+type outcome = {
+  id : string option;  (** [None] = the line never parsed *)
+  line : int;  (** 1-based input line number *)
+  body : (string * Json.t) list;
+  cached : bool;
+  ms : float;
+}
+
+let error_body ?extra ~kind detail =
+  ("ok", Json.Bool false)
+  :: (match extra with Some fs -> fs | None -> [])
+  @ [
+      ( "error",
+        Json.Assoc
+          [ ("kind", Json.String kind); ("detail", Json.String detail) ] );
+    ]
+
+let is_error body =
+  match List.assoc_opt "ok" body with Some (Json.Bool true) -> false | _ -> true
+
+let metrics_fields ~device ~policy ~qubits ~(metrics : Metrics.t) ~swaps =
+  [
+    ("ok", Json.Bool true);
+    ("device", Json.String device.Device.name);
+    ("policy", Json.String policy);
+    ("qubits", Json.Int qubits);
+    ("depth", Json.Int metrics.Metrics.depth);
+    ("gates", Json.Int metrics.Metrics.gate_count);
+    ("two_qubit", Json.Int metrics.Metrics.two_qubit_count);
+    ("swaps", Json.Int swaps);
+  ]
+
+(* Compile the QAOA ansatz of a graph request with the requested
+   policy (the paper pipeline). *)
+let compile_graph (req : Request.t) device ~n ~edges =
+  let problem = Problem.of_maxcut (Graph.of_edges n edges) in
+  let params =
+    {
+      Ansatz.gammas = Array.make req.Request.p req.Request.gamma;
+      betas = Array.make req.Request.p req.Request.beta;
+    }
+  in
+  let options =
+    {
+      Compile.default_options with
+      seed = req.Request.seed;
+      measure = req.Request.measure;
+      verify = req.Request.verify;
+    }
+  in
+  match
+    Compile.compile_result ~options ~strategy:req.Request.policy device problem
+      params
+  with
+  | Ok r ->
+    metrics_fields ~device
+      ~policy:(Compile.strategy_name req.Request.policy)
+      ~qubits:n ~metrics:r.Compile.metrics ~swaps:r.Compile.swap_count
+    @ (if req.Request.verify then [ ("verified", Json.Bool true) ] else [])
+    @
+    if req.Request.qasm_out then
+      [ ("qasm", Json.String (Qasm.to_string r.Compile.circuit)) ]
+    else []
+  | Error e ->
+    error_body ~kind:(Compile.error_kind e) (Compile.error_to_string e)
+
+(* Route a raw OpenQASM program straight through the backend router
+   under the trivial initial mapping; the policy field is moot. *)
+let route_qasm (req : Request.t) device ~qasm =
+  match Qasm.of_string qasm with
+  | exception Failure msg -> error_body ~kind:"bad_request" msg
+  | circuit -> (
+    let nq = Circuit.num_qubits circuit in
+    let available = Device.num_qubits device in
+    if nq > available then
+      error_body ~kind:"too_many_qubits"
+        (Printf.sprintf "program needs %d qubits but the device has %d" nq
+           available)
+    else
+      let initial = Mapping.trivial ~num_logical:nq ~num_physical:available in
+      match Router.route ~device ~initial circuit with
+      | routed ->
+        metrics_fields ~device ~policy:"route" ~qubits:nq
+          ~metrics:(Metrics.of_circuit routed.Router.circuit)
+          ~swaps:routed.Router.swap_count
+        @
+        if req.Request.qasm_out then
+          [ ("qasm", Json.String (Qasm.to_string routed.Router.circuit)) ]
+        else []
+      | exception Router.Unroutable detail ->
+        error_body ~kind:"unroutable" detail)
+
+let compute_body devices (req : Request.t) =
+  match Devices.resolve devices req.Request.device with
+  | None ->
+    error_body ~kind:"unknown_device"
+      (Printf.sprintf "unknown device %S; known: %s" req.Request.device
+         (String.concat ", " Topologies.known_names))
+  | Some device -> (
+    match req.Request.source with
+    | Request.Graph { n; edges } -> compile_graph req device ~n ~edges
+    | Request.Qasm qasm -> route_qasm req device ~qasm)
+
+let handle devices cache (line_no, line) =
+  Trace.with_span "serve.request" @@ fun () ->
+  let t0 = Clock.wall () in
+  Metrics_registry.incr "serve.requests";
+  let finish ?id ?(cached = false) body =
+    if is_error body then Metrics_registry.incr "serve.errors";
+    let ms = 1e3 *. (Clock.wall () -. t0) in
+    Metrics_registry.observe "serve.request_ms" ms;
+    { id; line = line_no; body; cached; ms }
+  in
+  match Request.of_line line with
+  | Error msg ->
+    finish (error_body ~extra:[ ("line", Json.Int line_no) ] ~kind:"bad_request" msg)
+  | Ok req -> (
+    let id = req.Request.id in
+    match cache with
+    | None -> finish ~id (compute_body devices req)
+    | Some c -> (
+      let key = Request.cache_key req in
+      match Cache.find c key with
+      | Some body -> finish ~id ~cached:true body
+      | None ->
+        let body = compute_body devices req in
+        Cache.store c key body;
+        finish ~id body))
+
+let render config outcome =
+  let id_json =
+    match outcome.id with Some s -> Json.String s | None -> Json.Null
+  in
+  let diagnostics =
+    if config.timings then
+      [
+        ("cached", Json.Bool outcome.cached); ("ms", Json.Float outcome.ms);
+      ]
+    else []
+  in
+  Json.to_string (Json.Assoc (("id", id_json) :: outcome.body @ diagnostics))
+
+let sort_key outcome = (Option.value ~default:"" outcome.id, outcome.line)
+
+let serve config ~produce ~emit =
+  if config.workers < 1 then invalid_arg "Serve: workers must be >= 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Serve: queue_capacity must be >= 1";
+  let devices = Devices.create () in
+  Devices.prewarm devices;
+  let requests = ref 0 and errors = ref 0 in
+  let note outcome =
+    incr requests;
+    if is_error outcome.body then incr errors
+  in
+  (* [sort] needs the full result set before emitting anything, so it
+     accumulates and flushes after the pool drains; the default mode
+     emits immediately in input order. *)
+  let sorted_acc = ref [] in
+  let consume _seq outcome =
+    if config.sort then sorted_acc := outcome :: !sorted_acc
+    else begin
+      note outcome;
+      emit (render config outcome)
+    end
+  in
+  let _count =
+    Pool.stream ~workers:config.workers ~queue_capacity:config.queue_capacity
+      ~produce ~consume (handle devices config.cache)
+  in
+  if config.sort then
+    List.iter
+      (fun outcome ->
+        note outcome;
+        emit (render config outcome))
+      (List.sort
+         (fun a b -> compare (sort_key a) (sort_key b))
+         (List.rev !sorted_acc));
+  {
+    requests = !requests;
+    errors = !errors;
+    cache_stats = Option.map Cache.stats config.cache;
+  }
+
+let run config ic oc =
+  let line_no = ref 0 in
+  let produce () =
+    match input_line ic with
+    | line ->
+      incr line_no;
+      Some (!line_no, line)
+    | exception End_of_file -> None
+  in
+  let stats =
+    serve config ~produce ~emit:(fun line ->
+        output_string oc line;
+        output_char oc '\n')
+  in
+  flush oc;
+  stats
+
+let run_lines config lines =
+  let remaining = ref lines in
+  let line_no = ref 0 in
+  let produce () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      incr line_no;
+      Some (!line_no, l)
+  in
+  let out = ref [] in
+  let stats = serve config ~produce ~emit:(fun line -> out := line :: !out) in
+  (List.rev !out, stats)
+
+(* ------------------------------------------------------------------ *)
+
+let gen_corpus ?(device = "tokyo") ~seed ~count () =
+  let policies = [| "naive"; "greedyv"; "greedye"; "qaim"; "ip"; "ic" |] in
+  let probs = [| 0.3; 0.5; 0.7 |] in
+  List.init count (fun i ->
+      let rng = Rng.create (seed + (7919 * i)) in
+      let n = 12 + (i mod 7) in
+      let p = probs.(i mod Array.length probs) in
+      (* redraw edgeless graphs - an empty cost layer is a request
+         error by construction *)
+      let rec draw () =
+        let g = Generators.erdos_renyi rng ~n ~p in
+        if Graph.num_edges g = 0 then draw () else g
+      in
+      let g = draw () in
+      let policy =
+        Option.get
+          (Compile.strategy_of_string policies.(i mod Array.length policies))
+      in
+      let req =
+        {
+          Request.id = Printf.sprintf "req-%04d" i;
+          source = Request.Graph { n; edges = Graph.edges g };
+          device;
+          policy;
+          seed = seed + i;
+          p = 1;
+          gamma = 0.7;
+          beta = 0.4;
+          measure = true;
+          verify = i mod 5 = 0;
+          qasm_out = false;
+        }
+      in
+      Json.to_string (Request.to_json req))

@@ -1,0 +1,63 @@
+(** The batch-compilation service: JSONL requests in, JSONL responses
+    out, fanned across a {!Pool} of domains, answered from a {!Cache}
+    when possible.
+
+    {b Determinism.}  Responses are emitted in {e input order} (the
+    pool's reorder buffer), and every response body is a pure function
+    of its request (per-request seeds, no timestamps unless
+    [timings]), so the output stream is byte-identical for any worker
+    count.  [sort] re-orders responses by request id (line number as
+    tie-break) instead - useful when diffing corpora assembled from
+    shards - and is equally worker-count-independent.
+
+    {b Responses.}  Success:
+    [{"id":..., "ok":true, "device":..., "policy":..., "qubits":n,
+    "depth":..., "gates":..., "two_qubit":..., "swaps":...}] plus
+    ["verified":true] when the request asked for verification and
+    ["qasm":"..."] when it asked for the compiled program.  Failure:
+    [{"id":..., "ok":false, "error":{"kind":..., "detail":...}}] with
+    the {!Qaoa_core.Compile.error_kind} taxonomy plus ["bad_request"]
+    (unparseable line - [id] is [null] and a ["line"] field locates
+    it) and ["unknown_device"].  A bad line never aborts the run: it
+    produces a structured error response and the exit code is
+    unchanged.
+
+    With [timings] each response additionally carries ["cached"] and
+    ["ms"] diagnostics - these are {e not} deterministic; leave
+    [timings] off when diffing runs.
+
+    Counters: [serve.requests], [serve.errors], [serve.cache.*];
+    histogram [serve.request_ms]. *)
+
+type config = {
+  workers : int;  (** worker domains, >= 1 *)
+  queue_capacity : int;  (** bounded in-flight window, >= 1 *)
+  sort : bool;  (** sort responses by (id, line) instead of input order *)
+  timings : bool;  (** append non-deterministic [cached]/[ms] fields *)
+  cache : Cache.t option;  (** [None] disables the artifact cache *)
+}
+
+val default_config : unit -> config
+(** [Pool.default_workers ()] workers, queue 256, no sorting, no
+    timings, a fresh 4096-entry cache. *)
+
+type stats = {
+  requests : int;  (** responses emitted, parse errors included *)
+  errors : int;  (** responses with [ok:false] *)
+  cache_stats : Cache.stats option;
+}
+
+val run : config -> in_channel -> out_channel -> stats
+(** Serve every line of the input channel.  @raise Invalid_argument on
+    a non-positive [workers]/[queue_capacity]. *)
+
+val run_lines : config -> string list -> string list * stats
+(** In-memory variant for tests and the bench harness: request lines
+    in, response lines (no trailing newlines) out. *)
+
+val gen_corpus : ?device:string -> seed:int -> count:int -> unit -> string list
+(** Deterministic request corpus for smoke tests and benchmarks:
+    [count] distinct seeded Erdos-Renyi MaxCut requests (12-18 nodes,
+    policies cycling over the calibration-free strategies, every fifth
+    request also asking for verification) against [device] (default
+    ["tokyo"]). *)

@@ -1,23 +1,42 @@
-type t = Random.State.t
+(* The creation seed and a split counter ride along with the state so
+   that [split] can derive child seeds as a pure function of
+   (seed, #previous splits) - independent of how many draws the parent
+   made in between (see the .mli).  Only [split] reads them. *)
+type t = { state : Random.State.t; seed : int; mutable splits : int }
 
-let create seed = Random.State.make [| seed; 0x51ab; seed lxor 0x9e3779b9 |]
+(* SplitMix-style finalizer over OCaml's native int.  Multiplication
+   wraps silently, which is exactly what a bit mixer wants; constants
+   stay within the 63-bit literal range. *)
+let mix a b =
+  let h = ref (a lxor ((b + 0x9e3779b9) * 0x517cc1b727220a95)) in
+  h := (!h lxor (!h lsr 30)) * 0x2545f4914f6cdd1d;
+  h := (!h lxor (!h lsr 27)) * 0x1d8e4e27c47d124f;
+  !h lxor (!h lsr 31)
+
+let create seed =
+  {
+    state = Random.State.make [| seed; 0x51ab; seed lxor 0x9e3779b9 |];
+    seed;
+    splits = 0;
+  }
 
 let split t =
-  let seed = Random.State.bits t in
-  Random.State.make [| seed; Random.State.bits t |]
+  let i = t.splits in
+  t.splits <- i + 1;
+  create (mix t.seed i)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  Random.State.int t bound
+  Random.State.int t.state bound
 
-let float t bound = Random.State.float t bound
-let bool t = Random.State.bool t
-let bernoulli t p = Random.State.float t 1.0 < p
+let float t bound = Random.State.float t.state bound
+let bool t = Random.State.bool t.state
+let bernoulli t p = Random.State.float t.state 1.0 < p
 
 let normal t ~mu ~sigma =
   (* Box-Muller: u1 in (0,1] to keep log finite. *)
-  let u1 = 1.0 -. Random.State.float t 1.0 in
-  let u2 = Random.State.float t 1.0 in
+  let u1 = 1.0 -. Random.State.float t.state 1.0 in
+  let u2 = Random.State.float t.state 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
 let normal_clamped t ~mu ~sigma ~lo ~hi =
@@ -31,7 +50,7 @@ let normal_clamped t ~mu ~sigma ~lo ~hi =
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
-    let j = Random.State.int t (i + 1) in
+    let j = Random.State.int t.state (i + 1) in
     let tmp = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- tmp
@@ -44,11 +63,11 @@ let shuffle_list t l =
 
 let choice t a =
   if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
-  a.(Random.State.int t (Array.length a))
+  a.(Random.State.int t.state (Array.length a))
 
 let choice_list t = function
   | [] -> invalid_arg "Rng.choice_list: empty list"
-  | l -> List.nth l (Random.State.int t (List.length l))
+  | l -> List.nth l (Random.State.int t.state (List.length l))
 
 let permutation t n =
   let a = Array.init n (fun i -> i) in

@@ -12,9 +12,15 @@ val create : int -> t
 (** [create seed] returns a fresh generator seeded with [seed]. *)
 
 val split : t -> t
-(** [split t] derives an independent generator from [t], advancing [t].
-    Useful to hand sub-tasks their own stream without coupling their
-    consumption. *)
+(** [split t] derives an independent generator from [t].  The child's
+    seed is a pure function of [t]'s creation seed and the number of
+    splits performed on [t] so far (a counter mix) - {e not} of [t]'s
+    draw position - so the [k]-th split of a generator yields the same
+    child stream no matter how many values were drawn from the parent in
+    between.  Sub-tasks handed split streams therefore stay reproducible
+    when the parent's consumption changes (e.g. work sharded across a
+    worker pool).  Splitting does not advance the parent's draw state,
+    only its split counter. *)
 
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).  [bound] must be

@@ -31,4 +31,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("resilience", Test_resilience.suite);
       ("journal", Test_journal.suite);
+      ("serve", Test_serve.suite);
     ]

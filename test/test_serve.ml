@@ -1,0 +1,431 @@
+(* The serving layer: domain pool, artifact cache, request schema, and
+   the determinism guarantees the JSONL service advertises. *)
+
+module Pool = Qaoa_serve.Pool
+module Cache = Qaoa_serve.Cache
+module Request = Qaoa_serve.Request
+module Serve = Qaoa_serve.Serve
+module Rng = Qaoa_util.Rng
+module Graph = Qaoa_graph.Graph
+module Generators = Qaoa_graph.Generators
+module Json = Qaoa_obs.Json
+module Compile = Qaoa_core.Compile
+module Problem = Qaoa_core.Problem
+module Ansatz = Qaoa_core.Ansatz
+module Topologies = Qaoa_hardware.Topologies
+module Check = Qaoa_verify.Check
+
+(* --- pool ---------------------------------------------------------- *)
+
+let test_pool_map_matches_sequential () =
+  let input = Array.init 97 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map with %d workers" workers)
+        expected
+        (Pool.map ~workers f input))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_map_empty_and_exceptions () =
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map ~workers:4 succ [||]);
+  Alcotest.check_raises "first failure by index re-raised"
+    (Failure "item 5") (fun () ->
+      ignore
+        (Pool.map ~workers:4
+           (fun i -> if i >= 5 then failwith (Printf.sprintf "item %d" i) else i)
+           (Array.init 64 (fun i -> i))))
+
+let test_pool_stream_ordered () =
+  List.iter
+    (fun (workers, capacity) ->
+      let n = 200 in
+      let next = ref 0 in
+      let produce () =
+        if !next >= n then None
+        else begin
+          let v = !next in
+          incr next;
+          Some v
+        end
+      in
+      let seen = ref [] in
+      let count =
+        Pool.stream ~workers ~queue_capacity:capacity ~produce
+          ~consume:(fun seq v -> seen := (seq, v) :: !seen)
+          (fun v -> v * 3)
+      in
+      Alcotest.(check int) "all items processed" n count;
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "submission order (%d workers, queue %d)" workers
+           capacity)
+        (List.init n (fun i -> (i, i * 3)))
+        (List.rev !seen))
+    [ (1, 1); (1, 4); (4, 2); (4, 64); (8, 3) ]
+
+let test_pool_stream_propagates_job_exception () =
+  let next = ref 0 in
+  let produce () =
+    if !next >= 40 then None
+    else begin
+      let v = !next in
+      incr next;
+      Some v
+    end
+  in
+  Alcotest.check_raises "job exception re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.stream ~workers:4 ~produce
+           ~consume:(fun _ _ -> ())
+           (fun v -> if v = 17 then failwith "boom" else v)))
+
+(* --- Rng.split ----------------------------------------------------- *)
+
+(* The split stream must not depend on how much the parent has drawn:
+   that is what makes work handed to pool workers reproducible when the
+   dispatch order changes. *)
+let test_split_independent_of_draw_position () =
+  let child_draws parent =
+    let c = Rng.split parent in
+    List.init 8 (fun _ -> Rng.int c 1_000_000)
+  in
+  let a = Rng.create 1234 in
+  let b = Rng.create 1234 in
+  ignore (Rng.int b 99);
+  ignore (Rng.float b 1.0);
+  ignore (Rng.bool b);
+  Alcotest.(check (list int))
+    "first split agrees regardless of parent draws" (child_draws a)
+    (child_draws b);
+  (* ... and the second split too, even with more interleaved draws. *)
+  ignore (Rng.int b 7);
+  Alcotest.(check (list int))
+    "second split agrees regardless of parent draws" (child_draws a)
+    (child_draws b)
+
+let test_split_streams_distinct () =
+  (* 64 parents x 4 splits: no two children may share a stream prefix,
+     and none may clone its parent. *)
+  let tbl = Hashtbl.create 512 in
+  let add key tag =
+    match Hashtbl.find_opt tbl key with
+    | Some other ->
+      Alcotest.failf "stream prefix collision between %s and %s" other tag
+    | None -> Hashtbl.replace tbl key tag
+  in
+  let prefix rng = List.init 4 (fun _ -> Rng.int rng 1_000_000_000) in
+  for seed = 0 to 63 do
+    let parent = Rng.create seed in
+    let children =
+      List.init 4 (fun k -> (Printf.sprintf "seed %d split %d" seed k, Rng.split parent))
+    in
+    add (prefix (Rng.create seed)) (Printf.sprintf "seed %d parent" seed);
+    List.iter (fun (tag, c) -> add (prefix c) tag) children
+  done
+
+(* --- canonical graph hash ------------------------------------------ *)
+
+let apply_permutation perm g =
+  Graph.of_edges (Graph.num_vertices g)
+    (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Graph.edges g))
+
+let prop_canonical_hash_invariant =
+  QCheck.Test.make ~name:"canonical_hash invariant under relabeling" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Generators.erdos_renyi rng ~n ~p:0.4 in
+      let h = Graph.canonical_hash g in
+      (* vertex relabeling *)
+      let relabeled = apply_permutation (Rng.permutation rng n) g in
+      (* edge-list spelling: shuffled order, flipped orientations *)
+      let respelled =
+        Graph.of_edges n
+          (Rng.shuffle_list rng
+             (List.map
+                (fun (u, v) -> if Rng.bool rng then (v, u) else (u, v))
+                (Graph.edges g)))
+      in
+      Graph.canonical_hash relabeled = h && Graph.canonical_hash respelled = h)
+
+let test_canonical_hash_separates_simple_cases () =
+  let path = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let star = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+  let triangle = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "path <> star" true
+    (Graph.canonical_hash path <> Graph.canonical_hash star);
+  Alcotest.(check bool) "path <> triangle" true
+    (Graph.canonical_hash path <> Graph.canonical_hash triangle);
+  Alcotest.(check bool) "empty graph hashes consistently" true
+    (Graph.canonical_hash (Graph.create 0) = Graph.canonical_hash (Graph.create 0))
+
+(* --- request schema ------------------------------------------------ *)
+
+let parse_ok line =
+  match Request.of_line line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "expected parse, got error: %s" e
+
+let parse_err line =
+  match Request.of_line line with
+  | Ok _ -> Alcotest.failf "expected error for %s" line
+  | Error e -> e
+
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_request_normalization () =
+  (* Different textual spellings of the same request: edge order,
+     orientation, duplicates. *)
+  let a = parse_ok {|{"id":"a","graph":{"n":4,"edges":[[0,1],[2,3],[1,2]]}}|} in
+  let b = parse_ok {|{"id":"b","graph":{"n":4,"edges":[[2,1],[1,0],[3,2],[0,1]]}}|} in
+  Alcotest.(check string) "fingerprints agree" (Request.fingerprint a)
+    (Request.fingerprint b);
+  Alcotest.(check bool) "cache keys agree" true
+    (Request.cache_key a = Request.cache_key b);
+  (* round-trip: serialized normal form parses back to the same key *)
+  let c = parse_ok (Json.to_string (Request.to_json a)) in
+  Alcotest.(check string) "round-trip fingerprint" (Request.fingerprint a)
+    (Request.fingerprint c)
+
+let test_request_rejections () =
+  let check_err name line sub =
+    let e = parse_err line in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions %S (got %S)" name sub e)
+      true
+      (contains_substring ~sub e)
+  in
+  check_err "not json" "nope" "malformed JSON";
+  check_err "not an object" "[1,2]" "object";
+  check_err "missing id" {|{"graph":{"n":2,"edges":[[0,1]]}}|} "id";
+  check_err "unknown field" {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"sede":7}|}
+    "unknown field";
+  check_err "no source" {|{"id":"a"}|} "graph";
+  check_err "both sources"
+    {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"qasm":"x"}|} "not both";
+  check_err "self loop" {|{"id":"a","graph":{"n":3,"edges":[[1,1]]}}|} "self-loop";
+  check_err "edge range" {|{"id":"a","graph":{"n":3,"edges":[[0,7]]}}|} "range";
+  check_err "edgeless" {|{"id":"a","graph":{"n":3,"edges":[]}}|} "no edges";
+  check_err "bad policy" {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"policy":"x"}|}
+    "unknown policy";
+  check_err "packing limit scope"
+    {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"policy":"qaim","packing_limit":4}|}
+    "packing_limit"
+
+(* --- cache --------------------------------------------------------- *)
+
+let key i = { Cache.graph_hash = i; fingerprint = Printf.sprintf "k%d" i }
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Cache.store c (key 1) [ ("v", Json.Int 1) ];
+  Cache.store c (key 2) [ ("v", Json.Int 2) ];
+  ignore (Cache.find c (key 1));
+  (* key 2 is now least recently used; inserting key 3 must evict it *)
+  Cache.store c (key 3) [ ("v", Json.Int 3) ];
+  Alcotest.(check bool) "key 1 survives" true (Cache.find c (key 1) <> None);
+  Alcotest.(check bool) "key 2 evicted" true (Cache.find c (key 2) = None);
+  Alcotest.(check bool) "key 3 present" true (Cache.find c (key 3) <> None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "size at capacity" 2 s.Cache.size;
+  Alcotest.(check int) "inserts counted" 3 s.Cache.inserts
+
+(* --- the service --------------------------------------------------- *)
+
+let config ?(workers = 1) ?(sort = false) ?cache () =
+  {
+    Serve.workers;
+    queue_capacity = 16;
+    sort;
+    timings = false;
+    cache;
+  }
+
+let corpus = lazy (Serve.gen_corpus ~seed:11 ~count:16 ())
+
+(* The headline guarantee: byte-identical output for any worker count,
+   in both input order and sorted mode. *)
+let test_ndomain_determinism () =
+  let reference, _ = Serve.run_lines (config ~workers:1 ()) (Lazy.force corpus) in
+  List.iter
+    (fun workers ->
+      let out, stats = Serve.run_lines (config ~workers ()) (Lazy.force corpus) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d workers, input order" workers)
+        reference out;
+      Alcotest.(check int) "no errors" 0 stats.Serve.errors)
+    [ 2; 4; 8 ];
+  let sorted1, _ = Serve.run_lines (config ~workers:1 ~sort:true ()) (Lazy.force corpus) in
+  List.iter
+    (fun workers ->
+      let out, _ = Serve.run_lines (config ~workers ~sort:true ()) (Lazy.force corpus) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d workers, sorted" workers)
+        sorted1 out)
+    [ 4; 8 ]
+
+(* A cached artifact must be byte-identical to a fresh compile: caching
+   can change latency, never bytes. *)
+let test_cache_hit_byte_equality () =
+  let lines = Lazy.force corpus in
+  let fresh, _ = Serve.run_lines (config ()) lines in
+  let cache = Cache.create ~capacity:64 in
+  let cached_cfg = config ~workers:4 ~cache () in
+  let first, _ = Serve.run_lines cached_cfg lines in
+  let second, stats = Serve.run_lines cached_cfg lines in
+  Alcotest.(check (list string)) "cold cached run = uncached run" fresh first;
+  Alcotest.(check (list string)) "warm cached run = uncached run" fresh second;
+  match stats.Serve.cache_stats with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "warm run hits (%d) cover the corpus" s.Cache.hits)
+      true
+      (s.Cache.hits >= List.length lines)
+
+let member_exn name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" name
+
+let test_malformed_requests_are_structured_errors () =
+  let lines =
+    [
+      "not json at all";
+      {|{"id":"good","graph":{"n":4,"edges":[[0,1],[2,3]]}}|};
+      {|{"id":"baddev","graph":{"n":3,"edges":[[0,1]]},"device":"enoent"}|};
+      {|{"id":"big","graph":{"n":25,"edges":[[0,24]]},"device":"tokyo"}|};
+      {|{"id":"badqasm","qasm":"OPENQASM 2.0; garbage"}|};
+    ]
+  in
+  let out, stats = Serve.run_lines (config ~workers:4 ()) lines in
+  Alcotest.(check int) "one response per line" (List.length lines)
+    (List.length out);
+  Alcotest.(check int) "requests counted" (List.length lines)
+    stats.Serve.requests;
+  Alcotest.(check int) "errors counted" 4 stats.Serve.errors;
+  let parsed = List.map (fun l -> Option.get (Json.of_string_opt l)) out in
+  let kind_of json =
+    match member_exn "error" json with
+    | Json.Assoc _ as e -> (
+      match Json.member "kind" e with Some (Json.String k) -> k | _ -> "?")
+    | _ -> "?"
+  in
+  (match parsed with
+  | [ bad; good; baddev; big; badqasm ] ->
+    Alcotest.(check bool) "bad line keeps null id" true
+      (member_exn "id" bad = Json.Null);
+    Alcotest.(check bool) "bad line located" true
+      (member_exn "line" bad = Json.Int 1);
+    Alcotest.(check string) "bad line kind" "bad_request" (kind_of bad);
+    Alcotest.(check bool) "good line still compiles" true
+      (member_exn "ok" good = Json.Bool true);
+    Alcotest.(check string) "unknown device kind" "unknown_device"
+      (kind_of baddev);
+    Alcotest.(check string) "oversized problem kind" "too_many_qubits"
+      (kind_of big);
+    Alcotest.(check string) "unparseable qasm kind" "bad_request"
+      (kind_of badqasm)
+  | _ -> Alcotest.fail "unexpected response shape")
+
+let test_gen_corpus_deterministic () =
+  let a = Serve.gen_corpus ~seed:5 ~count:12 () in
+  let b = Serve.gen_corpus ~seed:5 ~count:12 () in
+  let c = Serve.gen_corpus ~seed:6 ~count:12 () in
+  Alcotest.(check (list string)) "same seed, same corpus" a b;
+  Alcotest.(check bool) "different seed, different corpus" true (a <> c);
+  List.iter
+    (fun line ->
+      match Request.of_line line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "generated corpus line rejected: %s" e)
+    a
+
+(* --- cross-domain compile equivalence ------------------------------ *)
+
+(* 50 compiles fanned across 4 domains, every artifact checked against
+   the translation-validation oracle.  Small graphs keep the statevector
+   stage in play. *)
+let test_cross_domain_compile_equivalence () =
+  let device = Option.get (Topologies.by_name "tokyo") in
+  let strategies =
+    [| Compile.Naive; Compile.Greedy_v; Compile.Greedy_e; Compile.Qaim;
+       Compile.Ip; Compile.Ic None |]
+  in
+  let cases =
+    Array.init 50 (fun i ->
+        let rng = Rng.create (1000 + i) in
+        let n = 5 + (i mod 4) in
+        let rec draw () =
+          let g = Generators.erdos_renyi rng ~n ~p:0.5 in
+          if Graph.num_edges g = 0 then draw () else g
+        in
+        (i, n, draw (), strategies.(i mod Array.length strategies)))
+  in
+  let reports =
+    Pool.map ~workers:4
+      (fun (i, _n, g, strategy) ->
+        let problem = Problem.of_maxcut g in
+        let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4 in
+        let options = { Compile.default_options with seed = 100 + i } in
+        match Compile.compile_result ~options ~strategy device problem params with
+        | Error e -> (i, strategy, Error (Compile.error_to_string e))
+        | Ok r ->
+          let logical = Ansatz.circuit ~measure:true problem params in
+          let report =
+            Check.validate ~device ~initial:r.Compile.initial_mapping
+              ~final:r.Compile.final_mapping ~swap_count:r.Compile.swap_count
+              ~logical r.Compile.circuit
+          in
+          (i, strategy, Ok report))
+      cases
+  in
+  Array.iter
+    (fun (i, strategy, outcome) ->
+      match outcome with
+      | Error e ->
+        Alcotest.failf "case %d (%s) failed to compile: %s" i
+          (Compile.strategy_name strategy)
+          e
+      | Ok report ->
+        if not (Check.ok report) then
+          Alcotest.failf "case %d (%s) failed validation:\n%s" i
+            (Compile.strategy_name strategy)
+            (Check.report_to_string report))
+    reports
+
+let suite =
+  [
+    ("pool map matches sequential", `Quick, test_pool_map_matches_sequential);
+    ("pool map empty + exceptions", `Quick, test_pool_map_empty_and_exceptions);
+    ("pool stream emits in submission order", `Quick, test_pool_stream_ordered);
+    ( "pool stream propagates job exceptions",
+      `Quick,
+      test_pool_stream_propagates_job_exception );
+    ( "rng split independent of parent draws",
+      `Quick,
+      test_split_independent_of_draw_position );
+    ("rng split streams distinct", `Quick, test_split_streams_distinct);
+    QCheck_alcotest.to_alcotest prop_canonical_hash_invariant;
+    ( "canonical hash separates simple cases",
+      `Quick,
+      test_canonical_hash_separates_simple_cases );
+    ("request normalization", `Quick, test_request_normalization);
+    ("request rejections", `Quick, test_request_rejections);
+    ("cache lru eviction", `Quick, test_cache_lru_eviction);
+    ("n-domain determinism", `Slow, test_ndomain_determinism);
+    ("cache hits are byte-identical", `Slow, test_cache_hit_byte_equality);
+    ( "malformed requests are structured errors",
+      `Quick,
+      test_malformed_requests_are_structured_errors );
+    ("gen_corpus deterministic", `Quick, test_gen_corpus_deterministic);
+    ( "cross-domain compile equivalence",
+      `Slow,
+      test_cross_domain_compile_equivalence );
+  ]
