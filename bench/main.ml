@@ -117,20 +117,63 @@ let run_serve_bench ~scale =
     | Figures.Full -> 256
   in
   let corpus = Serve.gen_corpus ~seed:17 ~count () in
-  let config ~workers cache =
-    { Serve.workers; queue_capacity = 64; sort = false; timings = false; cache }
+  let config ?persist ~workers cache =
+    {
+      Serve.workers;
+      queue_capacity = 64;
+      sort = false;
+      timings = false;
+      cache;
+      persist;
+      supervise = Qaoa_serve.Supervise.default_config;
+      drain = None;
+    }
   in
   let time_pass ~workers ~warm =
     let reps = 3 in
     let best = ref infinity in
     for _ = 1 to reps do
-      let cache = Some (Cache.create ~capacity:4096) in
+      let cache = Some (Cache.create ~capacity:4096 ()) in
       if warm then ignore (Serve.run_lines (config ~workers cache) corpus);
       let t0 = Qaoa_obs.Clock.wall () in
       ignore (Serve.run_lines (config ~workers cache) corpus);
       let dt = Qaoa_obs.Clock.wall () -. t0 in
       if dt < !best then best := dt
     done;
+    !best
+  in
+  (* Restart warmth: serve once journaling the cache to disk, then
+     "restart" (fresh cache, --resume-cache) and time the second pass
+     including the journal reload - the kill-and-resume path CI
+     exercises, as a throughput number. *)
+  let time_restart_warm ~workers =
+    let module Persist = Qaoa_serve.Persist in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qaoa-bench-serve-%d" (Unix.getpid ()))
+    in
+    let cleanup () =
+      (try Sys.remove (Filename.concat dir Persist.default_filename)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    in
+    let reps = 3 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let c1 = Cache.create ~capacity:4096 () in
+      let p1 = Persist.open_ ~resume:false ~dir c1 in
+      ignore (Serve.run_lines (config ~persist:p1 ~workers (Some c1)) corpus);
+      Persist.finish p1 c1;
+      let t0 = Qaoa_obs.Clock.wall () in
+      let c2 = Cache.create ~capacity:4096 () in
+      let p2 = Persist.open_ ~resume:true ~dir c2 in
+      ignore (Serve.run_lines (config ~persist:p2 ~workers (Some c2)) corpus);
+      let dt = Qaoa_obs.Clock.wall () -. t0 in
+      Persist.finish p2 c2;
+      if dt < !best then best := dt
+    done;
+    cleanup ();
     !best
   in
   let cases =
@@ -142,6 +185,9 @@ let run_serve_bench ~scale =
                (if warm then "warm" else "cold")
            in
            (name, workers, warm, s))
+  in
+  let cases =
+    cases @ [ ("serve/tokyo-restart-warm", 4, true, time_restart_warm ~workers:4) ]
   in
   Printf.printf
     "\n=== qaoa-serve throughput (%d requests, best of 3, %d cores) ===\n"

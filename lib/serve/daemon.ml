@@ -1,0 +1,158 @@
+module Metrics_registry = Qaoa_obs.Metrics_registry
+
+(* One client connection.  All mutation happens on the calling domain
+   (produce/consume both run there); workers only ever carry the
+   pointer through the pool. *)
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read but not yet framed into lines *)
+  mutable line_no : int;  (** per-connection 1-based line numbering *)
+  mutable inflight : int;  (** requests submitted, response not yet written *)
+  mutable eof : bool;  (** peer finished writing; flush then close *)
+  mutable alive : bool;
+}
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
+  if config.Serve.sort then
+    invalid_arg "Daemon: sort is batch-only (a daemon stream has no end)";
+  let handler = Serve.make_handler config in
+  (* a client that disconnects mid-response must cost us an EPIPE, not
+     the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  if Sys.file_exists socket_path then (
+    try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 16;
+  on_ready ();
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let pending : (conn * (int * string)) Queue.t = Queue.create () in
+  let accepting = ref true in
+  let requests = ref 0 and errors = ref 0 in
+  let drop c =
+    if c.alive then begin
+      c.alive <- false;
+      Hashtbl.remove conns c.fd;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  (* Frame complete lines out of the connection buffer; a trailing
+     fragment stays buffered until its newline (or is discarded at
+     EOF - an unterminated request was never fully sent). *)
+  let enqueue_lines c =
+    let s = Buffer.contents c.buf in
+    let rec go off =
+      match String.index_from_opt s off '\n' with
+      | None ->
+        if off > 0 then begin
+          Buffer.clear c.buf;
+          Buffer.add_substring c.buf s off (String.length s - off)
+        end
+      | Some nl ->
+        c.line_no <- c.line_no + 1;
+        c.inflight <- c.inflight + 1;
+        Queue.add (c, (c.line_no, String.sub s off (nl - off))) pending;
+        go (nl + 1)
+    in
+    go 0
+  in
+  let read_conn c =
+    let bytes = Bytes.create 4096 in
+    match Unix.read c.fd bytes 0 4096 with
+    | 0 ->
+      c.eof <- true;
+      if c.inflight = 0 then drop c
+    | n ->
+      Buffer.add_subbytes c.buf bytes 0 n;
+      enqueue_lines c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let poll_io () =
+    let fds =
+      (if !accepting then [ listen_fd ] else [])
+      @ Hashtbl.fold (fun fd c acc -> if c.eof then acc else fd :: acc) conns []
+    in
+    (* the bounded timeout is what makes [Block] safe: the driver
+       drains finished responses between polls, and a delivered signal
+       (EINTR or the drain flag) is observed within 50ms *)
+    match Unix.select fds [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = listen_fd then (
+            match Unix.accept listen_fd with
+            | cfd, _ ->
+              Hashtbl.replace conns cfd
+                {
+                  fd = cfd;
+                  buf = Buffer.create 256;
+                  line_no = 0;
+                  inflight = 0;
+                  eof = false;
+                  alive = true;
+                };
+              Metrics_registry.incr "serve.connections"
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          else
+            match Hashtbl.find_opt conns fd with
+            | Some c -> read_conn c
+            | None -> ())
+        ready
+  in
+  let stop_accepting () =
+    if !accepting then begin
+      accepting := false;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+    end
+  in
+  let rec produce () =
+    if not (Queue.is_empty pending) then begin
+      Metrics_registry.incr "serve.inflight";
+      Pool.Item (Queue.pop pending)
+    end
+    else if Atomic.get drain <> 0 then begin
+      (* graceful drain: stop accepting; already-submitted requests
+         finish and their responses flow out below *)
+      stop_accepting ();
+      Pool.Eof
+    end
+    else begin
+      poll_io ();
+      if Queue.is_empty pending then Pool.Block else produce ()
+    end
+  in
+  let consume _seq (c, outcome) =
+    Metrics_registry.incr ~by:(-1) "serve.inflight";
+    incr requests;
+    if Serve.outcome_error outcome then incr errors;
+    if c.alive then begin
+      let line = Serve.render config outcome ^ "\n" in
+      try write_all c.fd line 0 (String.length line)
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop c
+    end;
+    c.inflight <- c.inflight - 1;
+    if c.eof && c.inflight = 0 then drop c
+  in
+  let _count =
+    Pool.stream_poll ~workers:config.Serve.workers
+      ~queue_capacity:config.Serve.queue_capacity ~produce ~consume
+      (fun (c, item) -> (c, handler item))
+  in
+  stop_accepting ();
+  List.iter drop (Hashtbl.fold (fun _ c acc -> c :: acc) conns []);
+  {
+    Serve.requests = !requests;
+    errors = !errors;
+    cache_stats = Option.map Cache.stats config.Serve.cache;
+  }

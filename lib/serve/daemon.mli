@@ -1,0 +1,43 @@
+(** Daemon mode: the serving loop behind a Unix-domain socket.
+
+    Clients connect to the socket and speak exactly the batch protocol
+    - JSONL requests in, JSONL responses out - so
+    [nc -U sock < corpus.jsonl] works unchanged.  Connections are
+    multiplexed through one select loop feeding the shared worker
+    pool, so every connection shares the device table, the supervisor
+    (breaker state) and the artifact cache.
+
+    {b Ordering.}  Requests are submitted in arrival order and the
+    pool's reorder buffer hands responses back in that same global
+    order, so each connection receives its responses in the order it
+    sent its requests.  Responses interleave with other connections'
+    work (a blocked response can wait on an earlier slow request from
+    another connection - acceptable for a batch-compilation service).
+
+    {b Fault containment.}  A poisoned request line is a structured
+    [ok:false] response on its own connection; a client that
+    disconnects mid-flight costs an EPIPE on its own writes.  Neither
+    takes down the daemon or perturbs other connections' bytes.
+
+    {b Drain.}  When the [drain] flag goes nonzero (SIGINT/SIGTERM via
+    {!Qaoa_journal.Signals.install_drain}), the daemon stops accepting
+    (the socket file is unlinked), finishes every submitted request,
+    writes the responses out, closes all connections and returns; the
+    caller then flushes its cache journal and exits 130/143.
+
+    Counters: [serve.connections], [serve.inflight] (up-down), plus
+    everything {!Serve} counts. *)
+
+val run :
+  ?on_ready:(unit -> unit) ->
+  Serve.config ->
+  socket_path:string ->
+  drain:int Atomic.t ->
+  Serve.stats
+(** Bind [socket_path] (replacing a stale socket file), serve until
+    [drain] goes nonzero, and return the run's stats.  [on_ready] fires
+    once the socket is listening (CI uses it to synchronize).
+    @raise Invalid_argument if [config.sort] is set (a daemon stream
+    has no end to sort) or on a non-positive [workers] /
+    [queue_capacity].
+    @raise Unix.Unix_error if the socket cannot be bound. *)

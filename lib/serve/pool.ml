@@ -56,7 +56,15 @@ type ('a, 'b) shared = {
   mutable closed : bool;
 }
 
-let stream ?workers ?(queue_capacity = 64) ~produce ~consume f =
+(* What the producer has for the pool right now.  [Block] means "no item
+   at this instant, but the stream is not over": the driver drains any
+   completed results and polls again, so a producer that waits on
+   external input (a socket select loop) can keep responses flowing
+   while idle.  A [Block]-returning producer must do its own blocking
+   (e.g. a bounded select timeout) or the driver busy-spins. *)
+type 'a poll = Item of 'a | Block | Eof
+
+let stream_poll ?workers ?(queue_capacity = 64) ~produce ~consume f =
   let w = check_workers workers in
   if queue_capacity < 1 then invalid_arg "Pool.stream: queue_capacity < 1";
   let st =
@@ -120,12 +128,18 @@ let stream ?workers ?(queue_capacity = 64) ~produce ~consume f =
   let rec drive () =
     if (not !eof) && !submitted - !emitted < queue_capacity then begin
       (match produce () with
-      | None -> eof := true
-      | Some item ->
+      | Eof -> eof := true
+      | Item item ->
         Mutex.lock st.lock;
         Queue.push (!submitted, item) st.queue;
         incr submitted;
         Condition.signal st.work_available;
+        let ready = drain_ready () in
+        Mutex.unlock st.lock;
+        emit ready
+      | Block ->
+        (* nothing to submit right now: keep the output moving *)
+        Mutex.lock st.lock;
         let ready = drain_ready () in
         Mutex.unlock st.lock;
         emit ready);
@@ -159,3 +173,9 @@ let stream ?workers ?(queue_capacity = 64) ~produce ~consume f =
     raise e);
   (match !first_error with Some e -> raise e | None -> ());
   !emitted
+
+let stream ?workers ?queue_capacity ~produce ~consume f =
+  stream_poll ?workers ?queue_capacity
+    ~produce:(fun () ->
+      match produce () with Some item -> Item item | None -> Eof)
+    ~consume f

@@ -44,3 +44,25 @@ val stream :
     only.  Returns the number of items processed.  [queue_capacity]
     (default 64) bounds the in-flight window.  @raise Invalid_argument
     if [workers < 1] or [queue_capacity < 1]. *)
+
+type 'a poll =
+  | Item of 'a
+  | Block
+      (** no item at this instant, stream not over: the driver drains
+          completed results and polls again.  A [Block]-returning
+          producer must do its own bounded blocking (e.g. a select
+          timeout), or the driver busy-spins. *)
+  | Eof
+
+val stream_poll :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  produce:(unit -> 'a poll) ->
+  consume:(int -> 'b -> unit) ->
+  ('a -> 'b) ->
+  int
+(** {!stream} generalized for producers that wait on external input
+    (the daemon's socket select loop): [Block] lets completed responses
+    flow to [consume] while the producer has nothing to submit, which
+    is what keeps a request/await client from deadlocking against a
+    batch-oriented drain. *)

@@ -36,7 +36,12 @@ let float_field ~default name json =
   match Json.member name json with
   | None -> Ok default
   | Some (Json.Int i) -> Ok (float_of_int i)
-  | Some (Json.Float f) -> Ok f
+  | Some (Json.Float f) ->
+    (* "1e999" parses to infinity; NaN/inf angles would flow into gate
+       parameters and poison every downstream float, so stop them at
+       the door with a locatable bad_request *)
+    if Float.is_finite f then Ok f
+    else Error (Printf.sprintf "field %S must be a finite number" name)
   | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
 
 let bool_field ~default name json =

@@ -3,52 +3,9 @@ module Trace = Qaoa_obs.Trace
 module Clock = Qaoa_obs.Clock
 module Metrics_registry = Qaoa_obs.Metrics_registry
 module Compile = Qaoa_core.Compile
-module Problem = Qaoa_core.Problem
-module Ansatz = Qaoa_core.Ansatz
-module Device = Qaoa_hardware.Device
-module Topologies = Qaoa_hardware.Topologies
-module Profile = Qaoa_hardware.Profile
-module Router = Qaoa_backend.Router
-module Mapping = Qaoa_backend.Mapping
-module Circuit = Qaoa_circuit.Circuit
-module Metrics = Qaoa_circuit.Metrics
-module Qasm = Qaoa_circuit.Qasm
 module Graph = Qaoa_graph.Graph
 module Generators = Qaoa_graph.Generators
 module Rng = Qaoa_util.Rng
-
-(* ------------------------------------------------------------------ *)
-(* Shared device table: resolve every device name once per run so all
-   workers share one Device.t value - which is what makes the
-   Profile distance-matrix memo (keyed on physical identity) hit. *)
-
-module Devices = struct
-  type t = {
-    lock : Mutex.t;
-    tbl : (string, Device.t option) Hashtbl.t;  (** None = unknown name *)
-  }
-
-  let create () = { lock = Mutex.create (); tbl = Hashtbl.create 8 }
-
-  let resolve t name =
-    Mutex.lock t.lock;
-    match Hashtbl.find_opt t.tbl name with
-    | Some v ->
-      Mutex.unlock t.lock;
-      v
-    | None ->
-      let v = Topologies.by_name name in
-      Hashtbl.replace t.tbl name v;
-      Mutex.unlock t.lock;
-      (* outside the table lock: Profile has its own mutex and dedups
-         concurrent warms *)
-      Option.iter Profile.precompute v;
-      v
-
-  let prewarm t = List.iter (fun n -> ignore (resolve t n)) [ "tokyo"; "melbourne" ]
-end
-
-(* ------------------------------------------------------------------ *)
 
 type config = {
   workers : int;
@@ -56,6 +13,9 @@ type config = {
   sort : bool;
   timings : bool;
   cache : Cache.t option;
+  persist : Persist.t option;
+  supervise : Supervise.config;
+  drain : int Atomic.t option;
 }
 
 let default_config () =
@@ -64,7 +24,10 @@ let default_config () =
     queue_capacity = 256;
     sort = false;
     timings = false;
-    cache = Some (Cache.create ~capacity:4096);
+    cache = Some (Cache.create ~capacity:4096 ());
+    persist = None;
+    supervise = Supervise.default_config;
+    drain = None;
   }
 
 type stats = {
@@ -82,126 +45,61 @@ type outcome = {
   ms : float;
 }
 
-let error_body ?extra ~kind detail =
-  ("ok", Json.Bool false)
-  :: (match extra with Some fs -> fs | None -> [])
-  @ [
-      ( "error",
-        Json.Assoc
-          [ ("kind", Json.String kind); ("detail", Json.String detail) ] );
-    ]
+let outcome_error o = Supervise.is_error o.body
 
-let is_error body =
-  match List.assoc_opt "ok" body with Some (Json.Bool true) -> false | _ -> true
-
-let metrics_fields ~device ~policy ~qubits ~(metrics : Metrics.t) ~swaps =
-  [
-    ("ok", Json.Bool true);
-    ("device", Json.String device.Device.name);
-    ("policy", Json.String policy);
-    ("qubits", Json.Int qubits);
-    ("depth", Json.Int metrics.Metrics.depth);
-    ("gates", Json.Int metrics.Metrics.gate_count);
-    ("two_qubit", Json.Int metrics.Metrics.two_qubit_count);
-    ("swaps", Json.Int swaps);
-  ]
-
-(* Compile the QAOA ansatz of a graph request with the requested
-   policy (the paper pipeline). *)
-let compile_graph (req : Request.t) device ~n ~edges =
-  let problem = Problem.of_maxcut (Graph.of_edges n edges) in
-  let params =
-    {
-      Ansatz.gammas = Array.make req.Request.p req.Request.gamma;
-      betas = Array.make req.Request.p req.Request.beta;
-    }
-  in
-  let options =
-    {
-      Compile.default_options with
-      seed = req.Request.seed;
-      measure = req.Request.measure;
-      verify = req.Request.verify;
-    }
-  in
-  match
-    Compile.compile_result ~options ~strategy:req.Request.policy device problem
-      params
-  with
-  | Ok r ->
-    metrics_fields ~device
-      ~policy:(Compile.strategy_name req.Request.policy)
-      ~qubits:n ~metrics:r.Compile.metrics ~swaps:r.Compile.swap_count
-    @ (if req.Request.verify then [ ("verified", Json.Bool true) ] else [])
-    @
-    if req.Request.qasm_out then
-      [ ("qasm", Json.String (Qasm.to_string r.Compile.circuit)) ]
-    else []
-  | Error e ->
-    error_body ~kind:(Compile.error_kind e) (Compile.error_to_string e)
-
-(* Route a raw OpenQASM program straight through the backend router
-   under the trivial initial mapping; the policy field is moot. *)
-let route_qasm (req : Request.t) device ~qasm =
-  match Qasm.of_string qasm with
-  | exception Failure msg -> error_body ~kind:"bad_request" msg
-  | circuit -> (
-    let nq = Circuit.num_qubits circuit in
-    let available = Device.num_qubits device in
-    if nq > available then
-      error_body ~kind:"too_many_qubits"
-        (Printf.sprintf "program needs %d qubits but the device has %d" nq
-           available)
-    else
-      let initial = Mapping.trivial ~num_logical:nq ~num_physical:available in
-      match Router.route ~device ~initial circuit with
-      | routed ->
-        metrics_fields ~device ~policy:"route" ~qubits:nq
-          ~metrics:(Metrics.of_circuit routed.Router.circuit)
-          ~swaps:routed.Router.swap_count
-        @
-        if req.Request.qasm_out then
-          [ ("qasm", Json.String (Qasm.to_string routed.Router.circuit)) ]
-        else []
-      | exception Router.Unroutable detail ->
-        error_body ~kind:"unroutable" detail)
-
-let compute_body devices (req : Request.t) =
-  match Devices.resolve devices req.Request.device with
-  | None ->
-    error_body ~kind:"unknown_device"
-      (Printf.sprintf "unknown device %S; known: %s" req.Request.device
-         (String.concat ", " Topologies.known_names))
-  | Some device -> (
-    match req.Request.source with
-    | Request.Graph { n; edges } -> compile_graph req device ~n ~edges
-    | Request.Qasm qasm -> route_qasm req device ~qasm)
-
-let handle devices cache (line_no, line) =
+(* The full supervised path for one input line: parse, answer from the
+   cache when possible, otherwise compute under {!Supervise.handle}
+   (containment, retry, breaker), then settle the cache taxonomy -
+   every missed lookup ends in exactly one store or reject, which is
+   what keeps [lookups = hits + misses + rejects] an invariant.  A
+   [Stored] insertion is journaled before the response is visible, so
+   a crash never leaves a served-but-unpersisted artifact ahead of the
+   journal. *)
+let handle sup devices cache persist (line_no, line) =
   Trace.with_span "serve.request" @@ fun () ->
   let t0 = Clock.wall () in
   Metrics_registry.incr "serve.requests";
   let finish ?id ?(cached = false) body =
-    if is_error body then Metrics_registry.incr "serve.errors";
+    if Supervise.is_error body then Metrics_registry.incr "serve.errors";
     let ms = 1e3 *. (Clock.wall () -. t0) in
     Metrics_registry.observe "serve.request_ms" ms;
     { id; line = line_no; body; cached; ms }
   in
   match Request.of_line line with
   | Error msg ->
-    finish (error_body ~extra:[ ("line", Json.Int line_no) ] ~kind:"bad_request" msg)
+    finish
+      (Supervise.error_body
+         ~extra:[ ("line", Json.Int line_no) ]
+         ~kind:"bad_request" msg)
   | Ok req -> (
     let id = req.Request.id in
     match cache with
-    | None -> finish ~id (compute_body devices req)
+    | None ->
+      let v = Supervise.handle sup devices req in
+      finish ~id v.Supervise.body
     | Some c -> (
       let key = Request.cache_key req in
       match Cache.find c key with
       | Some body -> finish ~id ~cached:true body
       | None ->
-        let body = compute_body devices req in
-        Cache.store c key body;
-        finish ~id body))
+        let v = Supervise.handle sup devices req in
+        (if v.Supervise.cacheable then begin
+           match Cache.store c key v.Supervise.body with
+           | Cache.Stored ->
+             Option.iter (fun p -> Persist.append p key v.Supervise.body) persist
+           | Cache.Duplicate | Cache.Oversized -> ()
+         end
+         else Cache.reject c);
+        finish ~id v.Supervise.body))
+
+let make_handler config =
+  if config.workers < 1 then invalid_arg "Serve: workers must be >= 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Serve: queue_capacity must be >= 1";
+  let devices = Supervise.Devices.create () in
+  Supervise.Devices.prewarm devices;
+  let sup = Supervise.create config.supervise in
+  handle sup devices config.cache config.persist
 
 let render config outcome =
   let id_json =
@@ -219,15 +117,18 @@ let render config outcome =
 let sort_key outcome = (Option.value ~default:"" outcome.id, outcome.line)
 
 let serve config ~produce ~emit =
-  if config.workers < 1 then invalid_arg "Serve: workers must be >= 1";
-  if config.queue_capacity < 1 then
-    invalid_arg "Serve: queue_capacity must be >= 1";
-  let devices = Devices.create () in
-  Devices.prewarm devices;
+  let handler = make_handler config in
+  (* a delivered SIGINT/SIGTERM stops admission: in-flight requests
+     finish and are emitted in order, then the run winds down *)
+  let produce =
+    match config.drain with
+    | None -> produce
+    | Some flag -> fun () -> if Atomic.get flag <> 0 then None else produce ()
+  in
   let requests = ref 0 and errors = ref 0 in
   let note outcome =
     incr requests;
-    if is_error outcome.body then incr errors
+    if outcome_error outcome then incr errors
   in
   (* [sort] needs the full result set before emitting anything, so it
      accumulates and flushes after the pool drains; the default mode
@@ -242,7 +143,7 @@ let serve config ~produce ~emit =
   in
   let _count =
     Pool.stream ~workers:config.workers ~queue_capacity:config.queue_capacity
-      ~produce ~consume (handle devices config.cache)
+      ~produce ~consume handler
   in
   if config.sort then
     List.iter

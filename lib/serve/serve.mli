@@ -1,6 +1,7 @@
 (** The batch-compilation service: JSONL requests in, JSONL responses
     out, fanned across a {!Pool} of domains, answered from a {!Cache}
-    when possible.
+    when possible, computed under {!Supervise} fault containment, and
+    optionally journaled to disk through {!Persist}.
 
     {b Determinism.}  Responses are emitted in {e input order} (the
     pool's reorder buffer), and every response body is a pure function
@@ -8,17 +9,43 @@
     [timings]), so the output stream is byte-identical for any worker
     count.  [sort] re-orders responses by request id (line number as
     tie-break) instead - useful when diffing corpora assembled from
-    shards - and is equally worker-count-independent.
+    shards - and is equally worker-count-independent.  (One caveat:
+    responses shaped by cross-request breaker state - retried or
+    degraded compiles - depend on scheduling when [workers > 1]; see
+    {!Supervise}.  They are never cached, and corpora with no compile
+    failures are unaffected.)
+
+    {b Fault containment.}  A worker exception, structured compile
+    error or deadline blowout is contained to its own request as a
+    structured [ok:false] response - it never aborts the run and never
+    alters any other request's bytes.  Retry, backoff and the
+    (device, policy) circuit breaker are configured via [supervise];
+    see {!Supervise} for the taxonomy.
+
+    {b Persistence.}  With [persist] set, every first-attempt success
+    is appended (checksummed, flushed) to the cache journal as it is
+    stored; a later run opened with [~resume:true] reloads the journal
+    and answers repeats from the warm cache byte-identically.
+
+    {b Drain.}  With [drain] set (see
+    {!Qaoa_journal.Signals.install_drain}), a delivered SIGINT/SIGTERM
+    stops admission of new requests; in-flight requests finish and are
+    emitted in order, the run winds down normally, and the caller exits
+    with the recorded 130/143.
 
     {b Responses.}  Success:
     [{"id":..., "ok":true, "device":..., "policy":..., "qubits":n,
     "depth":..., "gates":..., "two_qubit":..., "swaps":...}] plus
-    ["verified":true] when the request asked for verification and
-    ["qasm":"..."] when it asked for the compiled program.  Failure:
+    ["verified":true] when the request asked for verification,
+    ["qasm":"..."] when it asked for the compiled program,
+    ["attempts":k] after a retried success and
+    ["degraded":true, "requested_policy":...] for a breaker fallback.
+    Failure:
     [{"id":..., "ok":false, "error":{"kind":..., "detail":...}}] with
     the {!Qaoa_core.Compile.error_kind} taxonomy plus ["bad_request"]
     (unparseable line - [id] is [null] and a ["line"] field locates
-    it) and ["unknown_device"].  A bad line never aborts the run: it
+    it), ["unknown_device"], ["internal"] (contained worker exception)
+    and ["fallback_exhausted"].  A bad line never aborts the run: it
     produces a structured error response and the exit code is
     unchanged.
 
@@ -26,8 +53,9 @@
     ["ms"] diagnostics - these are {e not} deterministic; leave
     [timings] off when diffing runs.
 
-    Counters: [serve.requests], [serve.errors], [serve.cache.*];
-    histogram [serve.request_ms]. *)
+    Counters: [serve.requests], [serve.errors], [serve.retries],
+    [serve.contained], [serve.breaker.*], [serve.cache.*]; histogram
+    [serve.request_ms]. *)
 
 type config = {
   workers : int;  (** worker domains, >= 1 *)
@@ -35,11 +63,18 @@ type config = {
   sort : bool;  (** sort responses by (id, line) instead of input order *)
   timings : bool;  (** append non-deterministic [cached]/[ms] fields *)
   cache : Cache.t option;  (** [None] disables the artifact cache *)
+  persist : Persist.t option;  (** journal cache insertions to disk *)
+  supervise : Supervise.config;  (** retry / breaker / deadline policy *)
+  drain : int Atomic.t option;
+      (** graceful-drain flag from
+          {!Qaoa_journal.Signals.install_drain}: nonzero stops
+          admission *)
 }
 
 val default_config : unit -> config
 (** [Pool.default_workers ()] workers, queue 256, no sorting, no
-    timings, a fresh 4096-entry cache. *)
+    timings, a fresh 4096-entry cache, no persistence,
+    {!Supervise.default_config}, no drain flag. *)
 
 type stats = {
   requests : int;  (** responses emitted, parse errors included *)
@@ -61,3 +96,17 @@ val gen_corpus : ?device:string -> seed:int -> count:int -> unit -> string list
     policies cycling over the calibration-free strategies, every fifth
     request also asking for verification) against [device] (default
     ["tokyo"]). *)
+
+(**/**)
+
+(** The daemon reuses the per-line machinery directly. *)
+
+type outcome
+
+val outcome_error : outcome -> bool
+
+val make_handler : config -> int * string -> outcome
+(** One shared device table + supervisor for all calls; safe to call
+    from worker domains.  @raise Invalid_argument as {!run}. *)
+
+val render : config -> outcome -> string

@@ -1,0 +1,96 @@
+(** Request-level fault containment for the serving layer.
+
+    Every request is computed under supervision: a worker-domain
+    exception, a structured {!Qaoa_core.Compile.Error}, or a deadline
+    blowout is contained to its own request as a structured
+    [{"ok":false,...}] response - it never takes down the daemon and
+    never alters any other request's bytes.  Only
+    {!Qaoa_journal.Chaos.Injected} propagates (it simulates a process
+    crash; recovery is the caller's test subject).
+
+    {b Retry/backoff.}  A retryable compile failure (unroutable,
+    verification-rejected, residual strategy failure, contained
+    exception) is retried up to [tries - 1] times with deterministic
+    reseeding at [seed + 7919 * attempt] (attempt 0 uses the request
+    seed verbatim, as in {!Qaoa_journal.Supervisor.trial}), spaced by
+    an exponential [backoff_s * 2^(k-1)] sleep.  One optional deadline
+    spans {e all} attempts of a request.  A success after a retry is
+    served with an ["attempts"] field and is {e not} cached: it is no
+    longer a pure function of the request.
+
+    {b Circuit breaker.}  [breaker_threshold] consecutive compile
+    failures on one (device, policy) pair quarantine the pair:
+    subsequent requests for it skip the failing primary policy and
+    degrade to {!Qaoa_core.Compile.compile_with_fallback} (response
+    flagged ["degraded":true] with the winning policy named, never
+    cached) instead of failing hard.  Every [breaker_probe_every]-th
+    request while open probes the primary again and closes the breaker
+    on success.  The breaker feeds only on structured compile failures
+    and contained exceptions of graph requests - never on [bad_request]
+    lines, so a stream of poison cannot quarantine a healthy pair.
+    Breaker state is deliberately cross-request: with [workers > 1] the
+    trip point depends on scheduling, so corpora that are expected to
+    trip breakers should either run with one worker or disable the
+    breaker ([breaker_threshold = 0]) when byte-stable output matters.
+
+    Counters: [serve.retries], [serve.contained],
+    [serve.breaker.open], [serve.breaker.close],
+    [serve.breaker.degraded]. *)
+
+(** Shared device table: resolves every device name once per run so
+    all workers share one [Device.t] (which is what makes the
+    {!Qaoa_hardware.Profile} distance-matrix memo hit). *)
+module Devices : sig
+  type t
+
+  val create : unit -> t
+  val resolve : t -> string -> Qaoa_hardware.Device.t option
+  val prewarm : t -> unit
+end
+
+type config = {
+  tries : int;  (** total attempts per request, >= 1 *)
+  backoff_s : float;  (** sleep before retry [k]: [backoff_s * 2^(k-1)] *)
+  breaker_threshold : int;  (** consecutive failures to open; 0 disables *)
+  breaker_probe_every : int;  (** half-open probe cadence while open, >= 1 *)
+  deadline_s : float option;  (** per-request budget spanning all attempts *)
+}
+
+val default_config : config
+(** 2 attempts, no backoff sleep, breaker at 5 consecutive failures
+    probing every 8th request, no deadline. *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val open_breakers : t -> (string * string) list
+(** Currently quarantined (device, policy) pairs, sorted. *)
+
+type verdict = {
+  body : (string * Qaoa_obs.Json.t) list;
+  cacheable : bool;
+      (** pure function of the request (a first-attempt success):
+          safe to cache and journal.  Errors, retried successes and
+          degraded responses are not. *)
+}
+
+val handle : t -> Devices.t -> Request.t -> verdict
+(** Compute one parsed request under full supervision.  Never raises,
+    except {!Qaoa_journal.Chaos.Injected}. *)
+
+(**/**)
+
+val error_body :
+  ?extra:(string * Qaoa_obs.Json.t) list ->
+  kind:string ->
+  string ->
+  (string * Qaoa_obs.Json.t) list
+
+val is_error : (string * Qaoa_obs.Json.t) list -> bool
+
+val inject_hook : (id:string -> attempt:int -> unit) option ref
+(** Test-only fault injection, called before every primary attempt;
+    whatever it raises flows through containment/retry.  Never set
+    outside tests. *)

@@ -5,6 +5,10 @@ module Pool = Qaoa_serve.Pool
 module Cache = Qaoa_serve.Cache
 module Request = Qaoa_serve.Request
 module Serve = Qaoa_serve.Serve
+module Supervise = Qaoa_serve.Supervise
+module Persist = Qaoa_serve.Persist
+module Daemon = Qaoa_serve.Daemon
+module Chaos = Qaoa_journal.Chaos
 module Rng = Qaoa_util.Rng
 module Graph = Qaoa_graph.Graph
 module Generators = Qaoa_graph.Generators
@@ -222,12 +226,12 @@ let test_request_rejections () =
 let key i = { Cache.graph_hash = i; fingerprint = Printf.sprintf "k%d" i }
 
 let test_cache_lru_eviction () =
-  let c = Cache.create ~capacity:2 in
-  Cache.store c (key 1) [ ("v", Json.Int 1) ];
-  Cache.store c (key 2) [ ("v", Json.Int 2) ];
+  let c = Cache.create ~capacity:2 () in
+  ignore (Cache.store c (key 1) [ ("v", Json.Int 1) ]);
+  ignore (Cache.store c (key 2) [ ("v", Json.Int 2) ]);
   ignore (Cache.find c (key 1));
   (* key 2 is now least recently used; inserting key 3 must evict it *)
-  Cache.store c (key 3) [ ("v", Json.Int 3) ];
+  ignore (Cache.store c (key 3) [ ("v", Json.Int 3) ]);
   Alcotest.(check bool) "key 1 survives" true (Cache.find c (key 1) <> None);
   Alcotest.(check bool) "key 2 evicted" true (Cache.find c (key 2) = None);
   Alcotest.(check bool) "key 3 present" true (Cache.find c (key 3) <> None);
@@ -236,15 +240,49 @@ let test_cache_lru_eviction () =
   Alcotest.(check int) "size at capacity" 2 s.Cache.size;
   Alcotest.(check int) "inserts counted" 3 s.Cache.inserts
 
+(* Every missed lookup is classified exactly once when its artifact
+   comes back - store (miss) or reject - so the ledger balances. *)
+let test_cache_lookup_taxonomy () =
+  let c = Cache.create ~max_entry_bytes:64 ~capacity:4 () in
+  (* miss -> cacheable store *)
+  Alcotest.(check bool) "first lookup misses" true (Cache.find c (key 1) = None);
+  Alcotest.(check bool) "stored" true
+    (Cache.store c (key 1) [ ("v", Json.Int 1) ] = Cache.Stored);
+  (* hit *)
+  Alcotest.(check bool) "second lookup hits" true (Cache.find c (key 1) <> None);
+  (* miss -> uncacheable artifact *)
+  Alcotest.(check bool) "error lookup misses" true (Cache.find c (key 2) = None);
+  Cache.reject c;
+  (* miss -> oversized artifact, rejected at store *)
+  Alcotest.(check bool) "big lookup misses" true (Cache.find c (key 3) = None);
+  Alcotest.(check bool) "oversized rejected" true
+    (Cache.store c (key 3) [ ("v", Json.String (String.make 200 'x')) ]
+    = Cache.Oversized);
+  Alcotest.(check bool) "oversized not inserted" true
+    (Cache.find c (key 3) = None);
+  Cache.reject c;
+  (* the find above missed again: classify it *)
+  let s = Cache.stats c in
+  Alcotest.(check int) "lookups" 5 s.Cache.lookups;
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "rejects" 3 s.Cache.rejects;
+  Alcotest.(check int) "taxonomy balances: hits + misses + rejects = lookups"
+    s.Cache.lookups
+    (s.Cache.hits + s.Cache.misses + s.Cache.rejects)
+
 (* --- the service --------------------------------------------------- *)
 
-let config ?(workers = 1) ?(sort = false) ?cache () =
+let config ?(workers = 1) ?(sort = false) ?cache ?persist ?supervise () =
   {
     Serve.workers;
     queue_capacity = 16;
     sort;
     timings = false;
     cache;
+    persist;
+    supervise = Option.value supervise ~default:Supervise.default_config;
+    drain = None;
   }
 
 let corpus = lazy (Serve.gen_corpus ~seed:11 ~count:16 ())
@@ -275,7 +313,7 @@ let test_ndomain_determinism () =
 let test_cache_hit_byte_equality () =
   let lines = Lazy.force corpus in
   let fresh, _ = Serve.run_lines (config ()) lines in
-  let cache = Cache.create ~capacity:64 in
+  let cache = Cache.create ~capacity:64 () in
   let cached_cfg = config ~workers:4 ~cache () in
   let first, _ = Serve.run_lines cached_cfg lines in
   let second, stats = Serve.run_lines cached_cfg lines in
@@ -333,6 +371,334 @@ let test_malformed_requests_are_structured_errors () =
     Alcotest.(check string) "unparseable qasm kind" "bad_request"
       (kind_of badqasm)
   | _ -> Alcotest.fail "unexpected response shape")
+
+let kind_of json =
+  match Json.member "error" json with
+  | Some (Json.Assoc _ as e) -> (
+    match Json.member "kind" e with Some (Json.String k) -> k | _ -> "?")
+  | _ -> "?"
+
+let parse_response l = Option.get (Json.of_string_opt l)
+
+(* JSON floats parse to infinity past the double range; a non-finite
+   angle must die at the parser as a bad request, not flow into the
+   compiler. *)
+let test_request_rejects_nonfinite_floats () =
+  let e =
+    parse_err {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"gamma":1e999}|}
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mentions finiteness (got %S)" e)
+    true
+    (contains_substring ~sub:"finite" e);
+  ignore
+    (parse_err {|{"id":"a","graph":{"n":2,"edges":[[0,1]]},"beta":-1e999}|});
+  let out, stats =
+    Serve.run_lines (config ())
+      [ {|{"id":"inf","graph":{"n":2,"edges":[[0,1]]},"gamma":1e999}|} ]
+  in
+  Alcotest.(check int) "structured error" 1 stats.Serve.errors;
+  Alcotest.(check string) "bad_request kind" "bad_request"
+    (kind_of (parse_response (List.hd out)))
+
+(* Serve-level ledger: every parsed request does one cache lookup, and
+   uncacheable outcomes (errors of any kind) settle it as a reject. *)
+let test_serve_taxonomy_balances () =
+  let lines =
+    [
+      {|{"id":"good","graph":{"n":4,"edges":[[0,1],[2,3]]}}|};
+      "not json at all";
+      {|{"id":"baddev","graph":{"n":3,"edges":[[0,1]]},"device":"enoent"}|};
+      {|{"id":"good","graph":{"n":4,"edges":[[0,1],[2,3]]}}|};
+      {|{"id":"big","graph":{"n":25,"edges":[[0,24]]},"device":"tokyo"}|};
+    ]
+  in
+  let cache = Cache.create ~capacity:16 () in
+  let _, stats = Serve.run_lines (config ~cache ()) lines in
+  match stats.Serve.cache_stats with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some s ->
+    (* the unparseable line never reaches the cache *)
+    Alcotest.(check int) "lookups" 4 s.Cache.lookups;
+    Alcotest.(check int) "hits" 1 s.Cache.hits;
+    Alcotest.(check int) "misses" 1 s.Cache.misses;
+    Alcotest.(check int) "rejects" 2 s.Cache.rejects;
+    Alcotest.(check int) "taxonomy balances" s.Cache.lookups
+      (s.Cache.hits + s.Cache.misses + s.Cache.rejects)
+
+(* --- supervision --------------------------------------------------- *)
+
+let with_inject hook f =
+  Supervise.inject_hook := Some hook;
+  Fun.protect ~finally:(fun () -> Supervise.inject_hook := None) f
+
+(* A transient worker fault is retried with a reseeded attempt and
+   served (flagged, uncached); a permanent one is contained as a
+   structured internal error.  Either way the other requests' bytes
+   are untouched. *)
+let test_retry_and_containment () =
+  let lines = Lazy.force corpus in
+  let reference, _ = Serve.run_lines (config ()) lines in
+  let flaky_id = "req-0003" and dead_id = "req-0007" in
+  let out, stats =
+    with_inject
+      (fun ~id ~attempt ->
+        if id = flaky_id && attempt = 0 then failwith "transient fault";
+        if id = dead_id then failwith "permanent fault")
+      (fun () ->
+        let cache = Cache.create ~capacity:64 () in
+        Serve.run_lines (config ~cache ()) lines)
+  in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length out);
+  Alcotest.(check int) "only the dead request errors" 1 stats.Serve.errors;
+  List.iteri
+    (fun i (ref_line, line) ->
+      let json = parse_response line in
+      let id =
+        match Json.member "id" json with Some (Json.String s) -> s | _ -> "?"
+      in
+      if id = flaky_id then begin
+        Alcotest.(check bool) "flaky request still succeeds" true
+          (Json.member "ok" json = Some (Json.Bool true));
+        Alcotest.(check bool) "retry is flagged" true
+          (Json.member "attempts" json = Some (Json.Int 2))
+      end
+      else if id = dead_id then
+        Alcotest.(check string) "permanent fault contained as internal"
+          "internal" (kind_of json)
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "request %d bytes unaffected" i)
+          ref_line line)
+    (List.combine reference out)
+
+(* vic needs calibration and tokyo ships none: a deterministic compile
+   failure.  After [breaker_threshold] consecutive failures the
+   (tokyo, vic) pair is quarantined and later requests degrade to the
+   fallback chain instead of failing hard. *)
+let test_breaker_quarantine_and_degrade () =
+  let vic i =
+    Printf.sprintf
+      {|{"id":"vic-%d","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"policy":"vic","device":"tokyo","seed":%d}|}
+      i i
+  in
+  let lines = List.init 6 vic in
+  let supervise =
+    {
+      Supervise.default_config with
+      Supervise.breaker_threshold = 2;
+      breaker_probe_every = 100;
+    }
+  in
+  let out, stats = Serve.run_lines (config ~supervise ()) lines in
+  let parsed = List.map parse_response out in
+  let nth i = List.nth parsed i in
+  Alcotest.(check string) "first failure surfaces" "missing_calibration"
+    (kind_of (nth 0));
+  Alcotest.(check string) "second failure opens the breaker"
+    "missing_calibration" (kind_of (nth 1));
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d degrades to a fallback policy" i)
+        true
+        (Json.member "ok" (nth i) = Some (Json.Bool true)
+        && Json.member "degraded" (nth i) = Some (Json.Bool true)
+        && Json.member "requested_policy" (nth i)
+           = Some (Json.String "VIC")))
+    [ 2; 3; 4; 5 ];
+  Alcotest.(check int) "only the pre-open requests error" 2 stats.Serve.errors
+
+(* --- persistence --------------------------------------------------- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qaoa-test-persist-%d-%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+let rm_dir dir =
+  (try Sys.remove (Filename.concat dir Persist.default_filename)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* Kill-and-restart warmth: a journaled run, then a fresh process
+   image (new cache) resuming the journal, must answer the whole
+   corpus byte-identically with zero recompiles. *)
+let test_persist_restart_byte_identical_zero_recompiles () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_dir dir) @@ fun () ->
+  let lines = Lazy.force corpus in
+  let c1 = Cache.create ~capacity:64 () in
+  let p1 = Persist.open_ ~resume:false ~dir c1 in
+  let first, _ = Serve.run_lines (config ~cache:c1 ~persist:p1 ()) lines in
+  Persist.finish p1 c1;
+  (* restart: nothing survives but the journal *)
+  let c2 = Cache.create ~capacity:64 () in
+  let p2 = Persist.open_ ~resume:true ~dir c2 in
+  let s = Persist.stats p2 in
+  Alcotest.(check int) "every artifact reloaded" (List.length lines)
+    s.Persist.s_loaded;
+  let second, stats = Serve.run_lines (config ~cache:c2 ~persist:p2 ()) lines in
+  Persist.finish p2 c2;
+  Alcotest.(check (list string)) "responses byte-identical across restart"
+    first second;
+  match stats.Serve.cache_stats with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some s ->
+    Alcotest.(check int) "zero recompiles" 0 s.Cache.misses;
+    Alcotest.(check int) "warm from disk" (List.length lines) s.Cache.hits
+
+(* A corrupt mid-file record is dropped (and recompiled on demand); a
+   torn trailing record is truncated off.  Neither is ever served. *)
+let test_persist_corruption_recovery () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_dir dir) @@ fun () ->
+  let lines = Lazy.force corpus in
+  let c1 = Cache.create ~capacity:64 () in
+  let p1 = Persist.open_ ~resume:false ~dir c1 in
+  let first, _ = Serve.run_lines (config ~cache:c1 ~persist:p1 ()) lines in
+  let file = Persist.path p1 in
+  Persist.close p1;
+  (* flip the third record's checksum and append a torn half-record *)
+  let ic = open_in_bin file in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let records = String.split_on_char '\n' content in
+  let mangled =
+    List.mapi
+      (fun i r ->
+        if i = 2 && String.length r > 0 then
+          (if r.[0] = '0' then "1" else "0") ^ String.sub r 1 (String.length r - 1)
+        else r)
+      records
+    |> String.concat "\n"
+  in
+  let oc = open_out_bin file in
+  output_string oc (mangled ^ {|deadbeef {"graph_hash":1,"fing|});
+  close_out oc;
+  let c2 = Cache.create ~capacity:64 () in
+  let p2 = Persist.open_ ~resume:true ~dir c2 in
+  let s = Persist.stats p2 in
+  Alcotest.(check int) "corrupt record dropped" 1 s.Persist.s_dropped;
+  Alcotest.(check int) "torn tail truncated" 1 s.Persist.s_torn_truncated;
+  Alcotest.(check int) "the rest reloaded"
+    (List.length lines - 1)
+    s.Persist.s_loaded;
+  let second, stats = Serve.run_lines (config ~cache:c2 ~persist:p2 ()) lines in
+  Persist.finish p2 c2;
+  Alcotest.(check (list string)) "responses byte-identical after corruption"
+    first second;
+  match stats.Serve.cache_stats with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some cs ->
+    Alcotest.(check int) "only the dropped record recompiles" 1
+      cs.Cache.misses
+
+(* Chaos under serve: a simulated crash on the Nth journal append must
+   propagate out of the serving loop (it is a process death, not a
+   request failure), and a resumed run must reproduce the reference
+   bytes, answering every journaled artifact from the warm cache. *)
+let test_chaos_crash_under_serve () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_dir dir) @@ fun () ->
+  let lines = Lazy.force corpus in
+  let reference, _ = Serve.run_lines (config ()) lines in
+  let c1 = Cache.create ~capacity:64 () in
+  let p1 = Persist.open_ ~resume:false ~dir c1 in
+  Chaos.set_plan
+    (Some { Chaos.action = Chaos.Crash_after 5; mode = Chaos.Raise });
+  (match Serve.run_lines (config ~cache:c1 ~persist:p1 ()) lines with
+  | _ -> Alcotest.fail "injected crash must propagate, not be contained"
+  | exception Chaos.Injected _ -> ());
+  Chaos.set_plan None;
+  Persist.close p1;
+  let c2 = Cache.create ~capacity:64 () in
+  let p2 = Persist.open_ ~resume:true ~dir c2 in
+  let s = Persist.stats p2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "the crash-surviving prefix reloads (%d records)"
+       s.Persist.s_loaded)
+    true
+    (s.Persist.s_loaded >= 5);
+  let second, stats = Serve.run_lines (config ~cache:c2 ~persist:p2 ()) lines in
+  Persist.finish p2 c2;
+  Alcotest.(check (list string)) "resumed run reproduces reference bytes"
+    reference second;
+  match stats.Serve.cache_stats with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some cs ->
+    Alcotest.(check int) "journaled artifacts never recompile"
+      s.Persist.s_loaded cs.Cache.hits;
+    Alcotest.(check int) "the rest recompile once"
+      (List.length lines - s.Persist.s_loaded)
+      cs.Cache.misses
+
+(* --- daemon -------------------------------------------------------- *)
+
+(* Round-trip through the Unix-socket daemon: same bytes as the batch
+   path, responses in request order, graceful drain on the flag. *)
+let test_daemon_roundtrip () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qaoa-test-daemon-%d.sock" (Unix.getpid ()))
+  in
+  let lines = List.filteri (fun i _ -> i < 6) (Lazy.force corpus) in
+  let reference, _ = Serve.run_lines (config ()) lines in
+  let drain = Atomic.make 0 in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          (config ~cache:(Cache.create ~capacity:64 ()) ())
+          ~socket_path:sock ~drain)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon never became ready";
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let payload = String.concat "\n" lines ^ "\n" in
+  let rec wr off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd payload off len in
+      wr (off + n) (len - n)
+    end
+  in
+  wr 0 (String.length payload);
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 4096 in
+  let bytes = Bytes.create 4096 in
+  let rec rd () =
+    match Unix.read fd bytes 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf bytes 0 n;
+      rd ()
+  in
+  rd ();
+  Unix.close fd;
+  Atomic.set drain 143;
+  let stats = Domain.join daemon in
+  let out =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun s -> s <> "")
+  in
+  Alcotest.(check (list string)) "daemon bytes = batch bytes" reference out;
+  Alcotest.(check int) "all requests counted" (List.length lines)
+    stats.Serve.requests;
+  Alcotest.(check bool) "socket file removed on drain" true
+    (not (Sys.file_exists sock))
 
 let test_gen_corpus_deterministic () =
   let a = Serve.gen_corpus ~seed:5 ~count:12 () in
@@ -419,11 +785,26 @@ let suite =
     ("request normalization", `Quick, test_request_normalization);
     ("request rejections", `Quick, test_request_rejections);
     ("cache lru eviction", `Quick, test_cache_lru_eviction);
+    ("cache lookup taxonomy balances", `Quick, test_cache_lookup_taxonomy);
     ("n-domain determinism", `Slow, test_ndomain_determinism);
     ("cache hits are byte-identical", `Slow, test_cache_hit_byte_equality);
     ( "malformed requests are structured errors",
       `Quick,
       test_malformed_requests_are_structured_errors );
+    ( "non-finite floats rejected at parse",
+      `Quick,
+      test_request_rejects_nonfinite_floats );
+    ("serve-level taxonomy balances", `Quick, test_serve_taxonomy_balances);
+    ("retry and containment", `Slow, test_retry_and_containment);
+    ( "breaker quarantines and degrades",
+      `Quick,
+      test_breaker_quarantine_and_degrade );
+    ( "persisted cache restarts byte-identical",
+      `Slow,
+      test_persist_restart_byte_identical_zero_recompiles );
+    ("persist corruption recovery", `Slow, test_persist_corruption_recovery);
+    ("chaos crash under serve", `Slow, test_chaos_crash_under_serve);
+    ("daemon socket roundtrip", `Slow, test_daemon_roundtrip);
     ("gen_corpus deterministic", `Quick, test_gen_corpus_deterministic);
     ( "cross-domain compile equivalence",
       `Slow,
