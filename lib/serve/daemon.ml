@@ -18,7 +18,132 @@ let rec write_all fd s off len =
     | n -> write_all fd s (off + n) (len - n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
 
-let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
+module Client = struct
+  type t = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+  exception Timeout of string
+
+  (* One connect attempt.  [None] = the daemon is not (yet) listening:
+     the socket file may not exist, or it exists but nothing accepts -
+     both are normal during the bind window right after a fork. *)
+  let try_connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Some fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _) ->
+      Unix.close fd;
+      None
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      Unix.close fd;
+      None
+    | exception e ->
+      Unix.close fd;
+      raise e
+
+  let connect ?(timeout_s = 10.0) path =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      match try_connect path with
+      | Some fd -> { fd; buf = Buffer.create 1024; eof = false }
+      | None ->
+        if Unix.gettimeofday () >= deadline then
+          raise
+            (Timeout
+               (Printf.sprintf "%s not accepting within %.1fs" path timeout_s))
+        else begin
+          Unix.sleepf 0.01;
+          go ()
+        end
+    in
+    go ()
+
+  let fd t = t.fd
+
+  let send_line t line =
+    write_all t.fd (line ^ "\n") 0 (String.length line + 1)
+
+  (* Pop one framed line off the read buffer, if a newline arrived. *)
+  let take_line t =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some nl ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (nl + 1) (String.length s - nl - 1);
+      Some (String.sub s 0 nl)
+
+  let recv_line ?(timeout_s = 30.0) t =
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let bytes = Bytes.create 4096 in
+    let rec go () =
+      match take_line t with
+      | Some l -> Some l
+      | None ->
+        if t.eof then None
+        else begin
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then
+            raise (Timeout (Printf.sprintf "no reply within %.1fs" timeout_s));
+          (match Unix.select [ t.fd ] [] [] (Float.min remaining 0.25) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.read t.fd bytes 0 4096 with
+            | 0 -> t.eof <- true
+            | n -> Buffer.add_subbytes t.buf bytes 0 n
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              t.eof <- true));
+          go ()
+        end
+    in
+    go ()
+
+  let request ?timeout_s t line =
+    send_line t line;
+    recv_line ?timeout_s t
+
+  (* Non-blocking variant for callers multiplexing many clients in
+     their own select loop: drain whatever the kernel has buffered,
+     then report one framed line (or EOF) without ever waiting. *)
+  let poll_line t =
+    match take_line t with
+    | Some l -> `Line l
+    | None ->
+      if t.eof then `Eof
+      else begin
+        let bytes = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.select [ t.fd ] [] [] 0.0 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.read t.fd bytes 0 4096 with
+            | 0 -> t.eof <- true
+            | n ->
+              Buffer.add_subbytes t.buf bytes 0 n;
+              drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              t.eof <- true)
+        in
+        drain ();
+        match take_line t with
+        | Some l -> `Line l
+        | None -> if t.eof then `Eof else `Nothing
+      end
+
+  let close t =
+    t.eof <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+end
+
+let run ?(on_ready = fun () -> ()) ?shutdown_fd (config : Serve.config)
+    ~socket_path ~drain =
   if config.Serve.sort then
     invalid_arg "Daemon: sort is batch-only (a daemon stream has no end)";
   let handler = Serve.make_handler config in
@@ -76,9 +201,24 @@ let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
       drop c
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
+  (* The parent-death watch: when the supervisor holding the other end
+     of this pipe exits (gracefully or not), the fd turns readable at
+     EOF and the daemon self-drains as if SIGTERM had arrived - no
+     orphaned shard keeps listening on an unlinked socket or appending
+     to a journal its successor will reopen. *)
+  let check_shutdown fd =
+    let b = Bytes.create 16 in
+    match Unix.read fd b 0 16 with
+    | 0 -> ignore (Atomic.compare_and_set drain 0 143)
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+      ignore (Atomic.compare_and_set drain 0 143)
+  in
   let poll_io () =
     let fds =
-      (if !accepting then [ listen_fd ] else [])
+      (match shutdown_fd with Some fd -> [ fd ] | None -> [])
+      @ (if !accepting then [ listen_fd ] else [])
       @ Hashtbl.fold (fun fd c acc -> if c.eof then acc else fd :: acc) conns []
     in
     (* the bounded timeout is what makes [Block] safe: the driver
@@ -89,7 +229,8 @@ let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
     | ready, _, _ ->
       List.iter
         (fun fd ->
-          if fd = listen_fd then (
+          if shutdown_fd = Some fd then check_shutdown fd
+          else if fd = listen_fd then (
             match Unix.accept listen_fd with
             | cfd, _ ->
               Hashtbl.replace conns cfd
@@ -119,6 +260,7 @@ let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
   let rec produce () =
     if not (Queue.is_empty pending) then begin
       Metrics_registry.incr "serve.inflight";
+      Atomic.incr config.Serve.inflight;
       Pool.Item (Queue.pop pending)
     end
     else if Atomic.get drain <> 0 then begin
@@ -134,6 +276,7 @@ let run ?(on_ready = fun () -> ()) (config : Serve.config) ~socket_path ~drain =
   in
   let consume _seq (c, outcome) =
     Metrics_registry.incr ~by:(-1) "serve.inflight";
+    Atomic.decr config.Serve.inflight;
     incr requests;
     if Serve.outcome_error outcome then incr errors;
     if c.alive then begin

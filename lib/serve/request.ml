@@ -112,6 +112,27 @@ let parse_policy json =
       | _ -> Error "packing_limit only applies to policies ic and vic")
     | Some _ -> Error "field \"packing_limit\" must be an integer >= 1")
 
+type control = Ping | Stats
+
+let control_of_line line =
+  match Json.of_string_opt line with
+  | Some (Json.Assoc fields) -> (
+    match List.assoc_opt "op" fields with
+    | None -> None
+    | Some op ->
+      Some
+        (match op with
+        | Json.String ("ping" | "stats") when List.length fields > 1 ->
+          Error "control request carries fields besides \"op\""
+        | Json.String "ping" -> Ok Ping
+        | Json.String "stats" -> Ok Stats
+        | Json.String other ->
+          Error
+            (Printf.sprintf "unknown op %S (expected \"ping\" or \"stats\")"
+               other)
+        | _ -> Error "field \"op\" must be a string"))
+  | _ -> None
+
 let of_line line =
   match Json.of_string_opt line with
   | None -> Error "malformed JSON"

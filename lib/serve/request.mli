@@ -46,6 +46,20 @@ type t = {
   qasm_out : bool;
 }
 
+type control = Ping | Stats
+(** Control verbs beside the compile schema: [{"op":"ping"}] is a
+    liveness probe (the shard supervisor's health check - the reply
+    proves the whole submit-compute-respond path, not just the
+    process), [{"op":"stats"}] asks for the cache-lookup taxonomy and
+    the in-flight gauge.  Strict like requests: any field besides
+    ["op"] is rejected. *)
+
+val control_of_line : string -> (control, string) result option
+(** [None] when the line is not a control request at all (no ["op"]
+    field, not an object, unparseable - it should flow to {!of_line});
+    [Some (Error _)] when it names an unknown op or carries extra
+    fields. *)
+
 val of_line : string -> (t, string) result
 (** Parse one JSONL line.  [Error msg] describes the first problem
     (malformed JSON, missing/unknown field, bad edge, unknown policy,

@@ -16,6 +16,7 @@ type config = {
   persist : Persist.t option;
   supervise : Supervise.config;
   drain : int Atomic.t option;
+  inflight : int Atomic.t;
 }
 
 let default_config () =
@@ -28,6 +29,7 @@ let default_config () =
     persist = None;
     supervise = Supervise.default_config;
     drain = None;
+    inflight = Atomic.make 0;
   }
 
 type stats = {
@@ -55,16 +57,56 @@ let outcome_error o = Supervise.is_error o.body
    [Stored] insertion is journaled before the response is visible, so
    a crash never leaves a served-but-unpersisted artifact ahead of the
    journal. *)
-let handle sup devices cache persist (line_no, line) =
+(* Control-verb bodies.  [stats] snapshots the cache-lookup taxonomy
+   and the in-flight gauge so a supervisor (or CI) can assert
+   [lookups = hits + misses + rejects] per process over the wire. *)
+let stats_body cache inflight =
+  let cache_json =
+    match cache with
+    | None -> Json.Null
+    | Some c ->
+      let s = Cache.stats c in
+      Json.Assoc
+        [
+          ("lookups", Json.Int s.Cache.lookups);
+          ("hits", Json.Int s.Cache.hits);
+          ("misses", Json.Int s.Cache.misses);
+          ("rejects", Json.Int s.Cache.rejects);
+          ("inserts", Json.Int s.Cache.inserts);
+          ("evictions", Json.Int s.Cache.evictions);
+          ("reloaded", Json.Int s.Cache.reloaded);
+          ("size", Json.Int s.Cache.size);
+        ]
+  in
+  [
+    ("ok", Json.Bool true); ("op", Json.String "stats");
+    ("inflight", Json.Int (Atomic.get inflight)); ("cache", cache_json);
+  ]
+
+let handle sup devices cache persist inflight (line_no, line) =
   Trace.with_span "serve.request" @@ fun () ->
   let t0 = Clock.wall () in
-  Metrics_registry.incr "serve.requests";
   let finish ?id ?(cached = false) body =
     if Supervise.is_error body then Metrics_registry.incr "serve.errors";
     let ms = 1e3 *. (Clock.wall () -. t0) in
     Metrics_registry.observe "serve.request_ms" ms;
     { id; line = line_no; body; cached; ms }
   in
+  match Request.control_of_line line with
+  | Some ctl -> (
+    (* control verbs are not requests: no [serve.requests] count, no
+       cache interaction - the lookup taxonomy stays balanced *)
+    match ctl with
+    | Error msg ->
+      finish
+        (Supervise.error_body
+           ~extra:[ ("line", Json.Int line_no) ]
+           ~kind:"bad_request" msg)
+    | Ok Request.Ping ->
+      finish [ ("ok", Json.Bool true); ("op", Json.String "ping") ]
+    | Ok Request.Stats -> finish (stats_body cache inflight))
+  | None -> (
+  Metrics_registry.incr "serve.requests";
   match Request.of_line line with
   | Error msg ->
     finish
@@ -90,7 +132,7 @@ let handle sup devices cache persist (line_no, line) =
            | Cache.Duplicate | Cache.Oversized -> ()
          end
          else Cache.reject c);
-        finish ~id v.Supervise.body))
+        finish ~id v.Supervise.body)))
 
 let make_handler config =
   if config.workers < 1 then invalid_arg "Serve: workers must be >= 1";
@@ -99,7 +141,7 @@ let make_handler config =
   let devices = Supervise.Devices.create () in
   Supervise.Devices.prewarm devices;
   let sup = Supervise.create config.supervise in
-  handle sup devices config.cache config.persist
+  handle sup devices config.cache config.persist config.inflight
 
 let render config outcome =
   let id_json =

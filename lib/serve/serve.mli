@@ -53,6 +53,17 @@
     ["ms"] diagnostics - these are {e not} deterministic; leave
     [timings] off when diffing runs.
 
+    {b Control verbs.}  A line of the form [{"op":"ping"}] or
+    [{"op":"stats"}] ({!Request.control}) is answered without touching
+    the compile path: [ping] returns
+    [{"id":null,"ok":true,"op":"ping"}] (the shard supervisor's health
+    probe - it traverses the full submit-compute-respond pipeline, so a
+    pong proves the service is live, not merely the process), and
+    [stats] returns the cache-lookup taxonomy plus the in-flight gauge
+    so [lookups = hits + misses + rejects] can be asserted per process
+    over the wire.  Control verbs do not count as requests and never
+    touch the cache taxonomy; an unknown op is a ["bad_request"].
+
     Counters: [serve.requests], [serve.errors], [serve.retries],
     [serve.contained], [serve.breaker.*], [serve.cache.*]; histogram
     [serve.request_ms]. *)
@@ -69,12 +80,16 @@ type config = {
       (** graceful-drain flag from
           {!Qaoa_journal.Signals.install_drain}: nonzero stops
           admission *)
+  inflight : int Atomic.t;
+      (** up-down gauge of admitted-but-unanswered requests, maintained
+          by the daemon loop and reported by the [stats] control verb *)
 }
 
 val default_config : unit -> config
 (** [Pool.default_workers ()] workers, queue 256, no sorting, no
     timings, a fresh 4096-entry cache, no persistence,
-    {!Supervise.default_config}, no drain flag. *)
+    {!Supervise.default_config}, no drain flag, a fresh inflight
+    gauge. *)
 
 type stats = {
   requests : int;  (** responses emitted, parse errors included *)

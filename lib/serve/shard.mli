@@ -1,0 +1,186 @@
+(** Shard supervisor: a fleet of [qaoa-serve] daemon children behind
+    one parent, routed by graph hash and supervised for liveness.
+
+    The parent forks [shards] children; child [K] runs {!Daemon.run}
+    on its own Unix-domain socket ([socket_dir/shard-K.sock]) with its
+    own cache journal (the CLI places it under [cache_dir/shard-K/]).
+    Every parsed request is routed to slot
+    [graph_hash mod shards] ({!owner}), so a given problem graph
+    always lands on the same shard and its cache journal - warm
+    restarts stay warm per shard.
+
+    {b Supervision.}  Each child is watched three ways: [waitpid]
+    reaping (no zombies), EOF on its protocol socket, and periodic
+    [{"op":"ping"}] probes with a bounded reply deadline.  A dead
+    child is restarted with capped exponential backoff; a child that
+    restarts [flap_threshold] times within [flap_window_s] is
+    {e degraded} - its keyspace reroutes to the next live slot (walk
+    from the owner) until [readopt_streak] consecutive probe
+    successes, then the owner re-adopts.  Requests in flight on a dead
+    shard are replayed to a survivor and answered {e exactly once}:
+    responses already buffered when the socket died are delivered, the
+    rest are re-dispatched, and the compile is deterministic, so the
+    replayed bytes equal what the dead shard would have sent.
+
+    {b Byte identity.}  Unparseable lines are answered by the parent
+    itself (global line numbering, one counter for any shard count),
+    parsed requests never embed line numbers, and [sort] orders the
+    final stream by (id, line) exactly like {!Serve}.  Sorted output
+    is therefore byte-identical across [--shards 1/2/4] - including
+    under chaos kills - as long as [timings] is off.  With [timings]
+    on, a replayed-or-rerouted response additionally carries
+    ["rerouted":true] (metadata only, spliced by {!mark_rerouted}).
+
+    {b Parent death.}  Each child holds the read end of a pipe whose
+    write end only the parent owns and passes it to {!Daemon.run} as
+    [shutdown_fd]: if the parent dies - even by SIGKILL - every child
+    sees EOF and self-drains (exit 143), so a respawned fleet never
+    shares journals with orphans.
+
+    Counters: [serve.shard.spawned], [serve.shard.restarts],
+    [serve.shard.flapping], [serve.shard.rerouted],
+    [serve.shard.probe_failures]. *)
+
+(** {1 Pure supervision arithmetic} (exposed for tests) *)
+
+module Backoff : sig
+  val delay_s : base_s:float -> cap_s:float -> attempt:int -> float
+  (** Capped exponential: [min cap_s (base_s * 2^(attempt-1))] for
+      [attempt >= 1]; attempt 1 is the first {e re}spawn. *)
+end
+
+module Flap : sig
+  type t
+
+  val create : window_s:float -> threshold:int -> t
+  val note : t -> now:float -> unit
+  (** Record one restart at [now]. *)
+
+  val count : t -> now:float -> int
+  (** Restarts within the trailing window, pruning older ones. *)
+
+  val flapping : t -> now:float -> bool
+  (** [count >= threshold]. *)
+end
+
+module Streak : sig
+  type t
+
+  val create : need:int -> t
+  val hit : t -> unit
+  val miss : t -> unit
+  (** Any death or probe failure resets the run to zero. *)
+
+  val reached : t -> bool
+  (** [need] consecutive hits since the last miss. *)
+end
+
+val owner : shards:int -> int -> int
+(** Owning slot of a graph hash: [hash mod shards], safe on negative
+    hashes. *)
+
+val route : shards:int -> alive:(int -> bool) -> int -> int option
+(** First alive slot walking forward from the owner (wrapping);
+    [None] when no slot is alive. *)
+
+val mark_rerouted : string -> string
+(** Splice [,"rerouted":true] before the closing brace of a JSON
+    object line; any other shape is returned unchanged. *)
+
+(** {1 The fleet} *)
+
+type child_fn =
+  slot:int ->
+  generation:int ->
+  socket_path:string ->
+  shutdown_fd:Unix.file_descr ->
+  int
+(** Runs {e in the forked child} and returns the child's exit code
+    (delivered via [Unix._exit], so inherited [at_exit] finalizers are
+    skipped).  [generation] is 0 for the initial spawn and counts up
+    across restarts - the CLI uses it to resume the shard's journal
+    ([generation > 0] implies warm restart) and to install chaos only
+    in the first generation (a crash plan re-armed on every respawn
+    would flap forever).  [shutdown_fd] is the parent-death pipe to
+    pass to {!Daemon.run}. *)
+
+type config = {
+  shards : int;  (** fleet size, >= 1 *)
+  socket_dir : string;  (** holds [shard-K.sock]; created if missing *)
+  child : child_fn;
+  sort : bool;  (** sort the final stream by (id, line) - batch only *)
+  timings : bool;  (** splice ["rerouted":true] into replayed lines *)
+  probe_interval_s : float;  (** ping cadence per live shard *)
+  probe_timeout_s : float;
+      (** a probe unanswered this long, with nothing else received
+          from the shard either, declares it dead (SIGKILL + restart) *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  flap_window_s : float;
+  flap_threshold : int;  (** restarts within the window that degrade *)
+  readopt_streak : int;  (** probe successes before re-adoption *)
+  give_up_attempts : int;
+      (** consecutive failed generations before the slot is abandoned
+          and its keyspace permanently rerouted *)
+  inflight_per_shard : int;  (** per-child submission window *)
+  drain : int Atomic.t option;
+      (** {!Qaoa_journal.Signals.install_drain} flag: nonzero stops
+          admission and respawning; in-flight requests finish *)
+  on_spawn : (slot:int -> generation:int -> pid:int -> unit) option;
+      (** test hook, fired in the parent after each fork *)
+}
+
+val default_config :
+  shards:int -> socket_dir:string -> child:child_fn -> unit -> config
+(** No sorting or timings, 0.25s probes with a 10s deadline, backoff
+    0.05s doubling to a 1s cap, flap threshold 3-in-10s, re-adoption
+    after 5 probes, give-up after 25 generations, window 32, no drain
+    flag, no hook. *)
+
+type stats = {
+  requests : int;  (** responses emitted (parent-answered included) *)
+  errors : int;  (** responses with [ok:false] *)
+  spawned : int;  (** forks, initial fleet included *)
+  restarts : int;  (** forks beyond each slot's first *)
+  rerouted : int;  (** requests answered by a non-owner slot *)
+  probe_failures : int;
+  flapped : int;  (** slots that entered the degraded state *)
+  shard_stats : (int * string) list;
+      (** per-slot [{"op":"stats"}] response collected at wind-down
+          (missing slots were down at collection time) *)
+}
+
+val live_pids : unit -> int list
+(** Pids of the currently-running fleet (empty outside a run).  Wire
+    this as {!Qaoa_journal.Signals.install_drain}'s [fan_out] so a
+    SIGTERM to the parent reaches every child concurrently. *)
+
+val run_batch :
+  config ->
+  produce:(unit -> (int * string) option) ->
+  emit:(string -> unit) ->
+  stats
+(** Serve a batch: pull [(line_no, line)] items until [produce]
+    returns [None] (or [drain] fires), route across the fleet, emit
+    responses in input order (or sorted with [sort]), collect per-slot
+    stats, then drain the fleet (SIGTERM fan-out, bounded wait,
+    SIGKILL stragglers, every child reaped).  @raise Invalid_argument
+    on [shards < 1]. *)
+
+val run_lines : config -> string list -> string list * stats
+(** In-memory variant for tests: request lines in, response lines
+    out. *)
+
+val run_front :
+  ?on_ready:(unit -> unit) ->
+  config ->
+  socket_path:string ->
+  drain:int Atomic.t ->
+  stats
+(** Front-daemon mode ([--shards N --daemon SOCK]): accept client
+    connections on [socket_path] and route their lines across the
+    fleet; each connection receives its responses in its own send
+    order (per-connection line numbering for parse errors, exactly
+    like a plain daemon).  Returns after [drain] goes nonzero: stops
+    accepting, finishes in-flight requests, drains the fleet.  [sort]
+    must be off (a stream has no end). *)

@@ -1,0 +1,368 @@
+(* Shard-fleet tests: everything here forks.  OCaml 5 forbids
+   [Unix.fork] in any process that has ever created a domain - even
+   one already joined - so these tests live in their own executable
+   whose parent process stays domain-free: the shard supervisor only
+   talks sockets, daemon children spawn their pools {e after} the
+   fork, and the in-process reference runs (whose pool spawns domains)
+   are computed behind a fork of their own ([in_subprocess]). *)
+
+module Cache = Qaoa_serve.Cache
+module Serve = Qaoa_serve.Serve
+module Supervise = Qaoa_serve.Supervise
+module Persist = Qaoa_serve.Persist
+module Daemon = Qaoa_serve.Daemon
+module Shard = Qaoa_serve.Shard
+module Chaos = Qaoa_journal.Chaos
+module Json = Qaoa_obs.Json
+
+let config ?(workers = 1) ?(sort = false) ?cache ?persist ?supervise () =
+  {
+    Serve.workers;
+    queue_capacity = 16;
+    sort;
+    timings = false;
+    cache;
+    persist;
+    supervise = Option.value supervise ~default:Supervise.default_config;
+    drain = None;
+    inflight = Atomic.make 0;
+  }
+
+let corpus = lazy (Serve.gen_corpus ~seed:11 ~count:16 ())
+
+(* Run [f] in a forked child and marshal its result back over a pipe.
+   The child may create domains (it never forks again); the parent
+   must not. *)
+let in_subprocess (f : unit -> 'a) : 'a =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    let result = try Ok (f ()) with e -> Error (Printexc.to_string e) in
+    let oc = Unix.out_channel_of_descr w in
+    Marshal.to_channel oc (result : (_, string) result) [];
+    flush oc;
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    let result = (Marshal.from_channel ic : ('a, string) result) in
+    (try close_in ic with _ -> ());
+    ignore (Unix.waitpid [] pid);
+    (match result with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "subprocess reference failed: %s" msg)
+
+(* The batch-path reference bytes, computed without creating a domain
+   in this process. *)
+let serve_reference ?sort lines =
+  in_subprocess (fun () -> fst (Serve.run_lines (config ?sort ()) lines))
+
+(* Shard fleets below fork this child: a full daemon (own pool, own
+   cache, optionally its own journal) wired to the parent-death pipe.
+   [crash] installs a chaos plan in one specific generation only -
+   re-arming it on every respawn would flap forever. *)
+let shard_child ?persist_base ?(resume = false) ?crash ?die () ~slot
+    ~generation ~socket_path ~shutdown_fd =
+  match die with
+  | Some f when f ~slot ~generation -> 9
+  | _ ->
+    (match crash with
+    | Some (s, g, plan) when s = slot && g = generation ->
+      Chaos.set_plan (Some plan)
+    | _ -> Chaos.set_plan None);
+    let drain = Atomic.make 0 in
+    let cache = Cache.create ~capacity:256 () in
+    let persist =
+      Option.map
+        (fun base ->
+          Persist.open_
+            ~resume:(resume || generation > 0)
+            ~dir:(Filename.concat base (Printf.sprintf "shard-%d" slot))
+            cache)
+        persist_base
+    in
+    let cfg =
+      { (config ~cache ()) with Serve.persist; drain = Some drain }
+    in
+    let _stats = Daemon.run ~shutdown_fd cfg ~socket_path ~drain in
+    (match persist with Some p -> Persist.finish p cache | None -> ());
+    Atomic.get drain
+
+let shard_sockets_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qaoa-test-shard-%d-%d" (Unix.getpid ()) !counter)
+
+let rm_shard_sockets dir shards =
+  for k = 0 to shards - 1 do
+    try Sys.remove (Filename.concat dir (Printf.sprintf "shard-%d.sock" k))
+    with Sys_error _ -> ()
+  done;
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let rm_shard_journals base shards =
+  for k = 0 to shards - 1 do
+    let dir = Filename.concat base (Printf.sprintf "shard-%d" k) in
+    (try Sys.remove (Filename.concat dir Persist.default_filename)
+     with Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  done;
+  try Unix.rmdir base with Unix.Unix_error _ -> ()
+
+let shard_config ?sort ?on_spawn ~shards ~socket_dir child =
+  {
+    (Shard.default_config ~shards ~socket_dir ~child ()) with
+    Shard.sort = Option.value sort ~default:true;
+    probe_interval_s = 0.02;
+    backoff_base_s = 0.01;
+    backoff_cap_s = 0.05;
+    on_spawn;
+  }
+
+let shard_corpus =
+  lazy
+    ((* two poisoned lines ride along: the parent must answer them with
+        the same global line numbers any shard count (or the plain
+        batch path) would use *)
+     match Lazy.force corpus with
+     | first :: rest -> ("this is not json" :: first :: rest) @ [ {|{"id":"z","x":1}|} ]
+     | [] -> assert false)
+
+(* The headline guarantee: sorted output is byte-identical across
+   --shards 1/2/4 and equal to the in-process batch path, poisoned
+   lines included; input-order mode holds too. *)
+let test_shard_byte_identity () =
+  let lines = Lazy.force shard_corpus in
+  let sorted_ref = serve_reference ~sort:true lines in
+  List.iter
+    (fun shards ->
+      let socket_dir = shard_sockets_dir () in
+      Fun.protect ~finally:(fun () -> rm_shard_sockets socket_dir shards)
+      @@ fun () ->
+      let out, stats =
+        Shard.run_lines
+          (shard_config ~shards ~socket_dir (shard_child ()))
+          lines
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d shards, sorted" shards)
+        sorted_ref out;
+      Alcotest.(check int)
+        (Printf.sprintf "%d shards spawned once each" shards)
+        shards stats.Shard.spawned;
+      Alcotest.(check int) "no restarts" 0 stats.Shard.restarts)
+    [ 1; 2; 4 ];
+  let input_ref = serve_reference lines in
+  let socket_dir = shard_sockets_dir () in
+  Fun.protect ~finally:(fun () -> rm_shard_sockets socket_dir 2)
+  @@ fun () ->
+  let out, _ =
+    Shard.run_lines
+      (shard_config ~sort:false ~shards:2 ~socket_dir (shard_child ()))
+      lines
+  in
+  Alcotest.(check (list string)) "2 shards, input order" input_ref out
+
+(* Chaos kills one child mid-batch: its in-flight requests replay to a
+   survivor exactly once (no duplicate, no missing line), the restart
+   is counted, and the sorted bytes never change. *)
+let test_shard_crash_replay () =
+  let lines = Lazy.force shard_corpus in
+  let sorted_ref = serve_reference ~sort:true lines in
+  let socket_dir = shard_sockets_dir () in
+  let base = shard_sockets_dir () in
+  Fun.protect ~finally:(fun () ->
+      rm_shard_sockets socket_dir 2;
+      rm_shard_journals base 2)
+  @@ fun () ->
+  let crash =
+    (0, 0, { Chaos.action = Chaos.Crash_after 3; mode = Chaos.Exit })
+  in
+  let out, stats =
+    Shard.run_lines
+      (shard_config ~shards:2 ~socket_dir
+         (shard_child ~persist_base:base ~crash ()))
+      lines
+  in
+  Alcotest.(check (list string)) "crash leaves the bytes alone" sorted_ref out;
+  Alcotest.(check int) "every line answered exactly once"
+    (List.length lines) (List.length out);
+  Alcotest.(check int) "no duplicate responses" (List.length out)
+    (List.length (List.sort_uniq compare out));
+  Alcotest.(check bool) "the death was a restart" true
+    (stats.Shard.restarts >= 1);
+  Alcotest.(check bool) "in-flight work was replayed" true
+    (stats.Shard.rerouted >= 1)
+
+(* SIGKILL a child mid-batch from outside: the batch still completes
+   byte-identically, and afterwards every pid the fleet ever spawned
+   is both dead (kill 0 => ESRCH) and reaped (waitpid => ECHILD - no
+   zombie left for init to inherit). *)
+let test_shard_sigkill_reap () =
+  let lines = Lazy.force shard_corpus in
+  let sorted_ref = serve_reference ~sort:true lines in
+  let socket_dir = shard_sockets_dir () in
+  Fun.protect ~finally:(fun () -> rm_shard_sockets socket_dir 2)
+  @@ fun () ->
+  let pids = ref [] in
+  let first_pid = ref None in
+  let on_spawn ~slot:_ ~generation:_ ~pid =
+    pids := pid :: !pids;
+    if !first_pid = None then first_pid := Some pid
+  in
+  let produced = ref 0 in
+  let remaining = ref lines in
+  let produce () =
+    incr produced;
+    (* let some responses flow, then murder the first child cold *)
+    if !produced = 8 then
+      Option.iter
+        (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        !first_pid;
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      Some (!produced, l)
+  in
+  let out = ref [] in
+  let stats =
+    Shard.run_batch
+      (shard_config ~on_spawn ~shards:2 ~socket_dir (shard_child ()))
+      ~produce
+      ~emit:(fun line -> out := line :: !out)
+  in
+  Alcotest.(check (list string))
+    "sigkill leaves the bytes alone" sorted_ref
+    (List.rev !out);
+  Alcotest.(check bool) "the kill was noticed" true (stats.Shard.restarts >= 1);
+  List.iter
+    (fun pid ->
+      (match Unix.kill pid 0 with
+      | () -> Alcotest.failf "pid %d still alive after the run" pid
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | _ -> Alcotest.failf "pid %d was never reaped (zombie)" pid
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
+    !pids
+
+(* Two stillborn generations trip the flap detector (slot degraded,
+   keyspace rerouted); the third generation serves, passes its probe
+   streak, and the owner re-adopts - visible as cache lookups landing
+   on slot 0 again before the batch ends. *)
+let test_shard_flap_degrade_readopt () =
+  let lines =
+    Serve.gen_corpus ~seed:11 ~count:40 ()
+  in
+  let sorted_ref = serve_reference ~sort:true lines in
+  let socket_dir = shard_sockets_dir () in
+  Fun.protect ~finally:(fun () -> rm_shard_sockets socket_dir 2)
+  @@ fun () ->
+  let die ~slot ~generation = slot = 0 && generation < 2 in
+  let cfg =
+    {
+      (shard_config ~shards:2 ~socket_dir (shard_child ~die ())) with
+      Shard.flap_threshold = 2;
+      flap_window_s = 60.0;
+      readopt_streak = 2;
+      inflight_per_shard = 1;
+    }
+  in
+  let remaining = ref lines in
+  let line_no = ref 0 in
+  let produce () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      incr line_no;
+      (* trickle the corpus so the tail arrives after slot 0 has
+         recovered and been re-adopted *)
+      Unix.sleepf 0.015;
+      Some (!line_no, l)
+  in
+  let out = ref [] in
+  let stats =
+    Shard.run_batch cfg ~produce ~emit:(fun line -> out := line :: !out)
+  in
+  Alcotest.(check (list string))
+    "flapping leaves the bytes alone" sorted_ref
+    (List.rev !out);
+  Alcotest.(check int) "two stillborn generations" 2 stats.Shard.restarts;
+  Alcotest.(check int) "slot degraded once" 1 stats.Shard.flapped;
+  Alcotest.(check bool) "requests rerouted while degraded" true
+    (stats.Shard.rerouted >= 1);
+  match List.assoc_opt 0 stats.Shard.shard_stats with
+  | None -> Alcotest.fail "slot 0 reported no stats (never recovered)"
+  | Some line -> (
+    match Json.of_string_opt line with
+    | Some (Json.Assoc fields) -> (
+      match List.assoc_opt "cache" fields with
+      | Some (Json.Assoc cache) -> (
+        match List.assoc_opt "lookups" cache with
+        | Some (Json.Int n) ->
+          Alcotest.(check bool)
+            "slot 0 served again after re-adoption" true (n > 0)
+        | _ -> Alcotest.fail "slot 0 stats has no lookup count")
+      | _ -> Alcotest.fail "slot 0 stats has no cache object")
+    | _ -> Alcotest.fail "slot 0 stats is not a json object")
+
+(* Parent restart with warm journals: a second fleet over the same
+   --cache-dir answers the whole corpus from its per-shard caches -
+   zero misses on every shard, same bytes. *)
+let test_shard_warm_restart_zero_misses () =
+  let lines = Lazy.force shard_corpus in
+  let socket_dir = shard_sockets_dir () in
+  let base = shard_sockets_dir () in
+  Fun.protect ~finally:(fun () ->
+      rm_shard_sockets socket_dir 2;
+      rm_shard_journals base 2)
+  @@ fun () ->
+  let cold, _ =
+    Shard.run_lines
+      (shard_config ~shards:2 ~socket_dir (shard_child ~persist_base:base ()))
+      lines
+  in
+  let warm, stats =
+    Shard.run_lines
+      (shard_config ~shards:2 ~socket_dir
+         (shard_child ~persist_base:base ~resume:true ()))
+      lines
+  in
+  Alcotest.(check (list string)) "warm restart, same bytes" cold warm;
+  Alcotest.(check int) "both shards reported stats" 2
+    (List.length stats.Shard.shard_stats);
+  List.iter
+    (fun (slot, line) ->
+      match Json.of_string_opt line with
+      | Some (Json.Assoc fields) -> (
+        match List.assoc_opt "cache" fields with
+        | Some (Json.Assoc cache) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d recompiled nothing" slot)
+            true
+            (List.assoc_opt "misses" cache = Some (Json.Int 0))
+        | _ -> Alcotest.failf "shard %d stats has no cache" slot)
+      | _ -> Alcotest.failf "shard %d stats is not json" slot)
+    stats.Shard.shard_stats
+
+let () =
+  Alcotest.run "qaoa fleet"
+    [
+      ( "shard-fleet",
+        [
+          ( "byte identity across fleet sizes",
+            `Slow,
+            test_shard_byte_identity );
+          ("crash replay exactly once", `Slow, test_shard_crash_replay);
+          ("sigkill reaped, no zombie", `Slow, test_shard_sigkill_reap);
+          ("flap, degrade, re-adopt", `Slow, test_shard_flap_degrade_readopt);
+          ( "warm restart zero recompiles",
+            `Slow,
+            test_shard_warm_restart_zero_misses );
+        ] );
+    ]

@@ -283,6 +283,7 @@ let config ?(workers = 1) ?(sort = false) ?cache ?persist ?supervise () =
     persist;
     supervise = Option.value supervise ~default:Supervise.default_config;
     drain = None;
+    inflight = Atomic.make 0;
   }
 
 let corpus = lazy (Serve.gen_corpus ~seed:11 ~count:16 ())
@@ -713,6 +714,186 @@ let test_gen_corpus_deterministic () =
       | Error e -> Alcotest.failf "generated corpus line rejected: %s" e)
     a
 
+(* --- daemon client ------------------------------------------------- *)
+
+(* Daemon.Client against a live daemon: framed request/reply, the ping
+   and stats control verbs over the wire, and the connect deadline. *)
+let test_daemon_client_roundtrip () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qaoa-test-client-%d.sock" (Unix.getpid ()))
+  in
+  let lines = List.filteri (fun i _ -> i < 3) (Lazy.force corpus) in
+  let reference, _ = Serve.run_lines (config ()) lines in
+  let drain = Atomic.make 0 in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          (config ~cache:(Cache.create ~capacity:64 ()) ())
+          ~socket_path:sock ~drain)
+  in
+  Fun.protect ~finally:(fun () ->
+      Atomic.compare_and_set drain 0 143 |> ignore;
+      ignore (Domain.join daemon))
+  @@ fun () ->
+  let c = Daemon.Client.connect ~timeout_s:10.0 sock in
+  Alcotest.(check (option string))
+    "ping pongs"
+    (Some {|{"id":null,"ok":true,"op":"ping"}|})
+    (Daemon.Client.request c {|{"op":"ping"}|});
+  List.iteri
+    (fun i line ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "request %d matches the batch bytes" i)
+        (Some (List.nth reference i))
+        (Daemon.Client.request c line))
+    lines;
+  (match Daemon.Client.request c {|{"op":"stats"}|} with
+  | None -> Alcotest.fail "no stats reply"
+  | Some reply -> (
+    match Json.of_string_opt reply with
+    | Some (Json.Assoc fields) -> (
+      Alcotest.(check bool)
+        "stats ok" true
+        (List.assoc_opt "ok" fields = Some (Json.Bool true));
+      Alcotest.(check bool)
+        "inflight counts the stats request itself" true
+        (List.assoc_opt "inflight" fields = Some (Json.Int 1));
+      match List.assoc_opt "cache" fields with
+      | Some (Json.Assoc cache) ->
+        let n k =
+          match List.assoc_opt k cache with
+          | Some (Json.Int v) -> v
+          | _ -> Alcotest.failf "stats cache missing %s" k
+        in
+        Alcotest.(check int) "taxonomy balances over the wire" (n "lookups")
+          (n "hits" + n "misses" + n "rejects")
+      | _ -> Alcotest.fail "stats reply has no cache object")
+    | _ -> Alcotest.fail "stats reply is not a json object"));
+  Daemon.Client.close c;
+  (* nothing listens here: the deadline must fire, not hang *)
+  match
+    Daemon.Client.connect ~timeout_s:0.2
+      (Filename.concat (Filename.get_temp_dir_name ()) "qaoa-no-such.sock")
+  with
+  | _ -> Alcotest.fail "connect to a dead path should time out"
+  | exception Daemon.Client.Timeout _ -> ()
+
+(* --- shard supervisor ---------------------------------------------- *)
+
+module Shard = Qaoa_serve.Shard
+
+(* The pure supervision arithmetic: capped exponential backoff, the
+   flap-detector window, the re-adoption streak, hash routing and the
+   rerouted-metadata splice. *)
+let test_shard_supervision_arithmetic () =
+  let d attempt = Shard.Backoff.delay_s ~base_s:0.05 ~cap_s:1.0 ~attempt in
+  Alcotest.(check (float 1e-9)) "first retry at base" 0.05 (d 1);
+  Alcotest.(check (float 1e-9)) "doubles" 0.1 (d 2);
+  Alcotest.(check (float 1e-9)) "keeps doubling" 0.4 (d 4);
+  Alcotest.(check (float 1e-9)) "caps" 1.0 (d 6);
+  Alcotest.(check (float 1e-9)) "stays capped" 1.0 (d 30);
+  let f = Shard.Flap.create ~window_s:10.0 ~threshold:3 in
+  Shard.Flap.note f ~now:100.0;
+  Shard.Flap.note f ~now:104.0;
+  Alcotest.(check bool) "two in window: calm" false
+    (Shard.Flap.flapping f ~now:104.0);
+  Shard.Flap.note f ~now:108.0;
+  Alcotest.(check bool) "three in window: flapping" true
+    (Shard.Flap.flapping f ~now:108.0);
+  Alcotest.(check int) "oldest restart ages out" 2
+    (Shard.Flap.count f ~now:113.9);
+  Alcotest.(check bool) "pruned window: calm again" false
+    (Shard.Flap.flapping f ~now:113.9);
+  Shard.Flap.note f ~now:113.9;
+  Alcotest.(check bool) "fresh restart re-trips it" true
+    (Shard.Flap.flapping f ~now:113.9);
+  let s = Shard.Streak.create ~need:3 in
+  Shard.Streak.hit s;
+  Shard.Streak.hit s;
+  Alcotest.(check bool) "two probes: not yet" false (Shard.Streak.reached s);
+  Shard.Streak.hit s;
+  Alcotest.(check bool) "third probe re-adopts" true (Shard.Streak.reached s);
+  Shard.Streak.miss s;
+  Shard.Streak.hit s;
+  Alcotest.(check bool) "a miss resets the run" false (Shard.Streak.reached s);
+  Alcotest.(check int) "owner" 3 (Shard.owner ~shards:4 7);
+  Alcotest.(check int) "owner of a negative hash" 1 (Shard.owner ~shards:4 (-7));
+  Alcotest.(check (option int))
+    "route lands on the owner" (Some 3)
+    (Shard.route ~shards:4 ~alive:(fun _ -> true) 7);
+  Alcotest.(check (option int))
+    "route walks past dead slots, wrapping" (Some 2)
+    (Shard.route ~shards:4 ~alive:(fun i -> i = 2) 7);
+  Alcotest.(check (option int))
+    "route with no live slot" None
+    (Shard.route ~shards:4 ~alive:(fun _ -> false) 7);
+  Alcotest.(check string)
+    "rerouted splice"
+    {|{"id":"x","rerouted":true}|}
+    (Shard.mark_rerouted {|{"id":"x"}|});
+  Alcotest.(check string)
+    "non-object lines pass through" "not json"
+    (Shard.mark_rerouted "not json")
+
+(* The control verbs through the ordinary serving path: ping is the
+   canonical pong, stats balances the taxonomy, junk ops and extra
+   fields are structured bad_requests. *)
+let test_control_verbs () =
+  let lines =
+    [
+      {|{"op":"ping"}|};
+      List.nth (Lazy.force corpus) 0;
+      {|{"op":"stats"}|};
+      {|{"op":"reboot"}|};
+      {|{"op":"ping","x":1}|};
+    ]
+  in
+  let out, stats =
+    Serve.run_lines (config ~cache:(Cache.create ~capacity:16 ()) ()) lines
+  in
+  Alcotest.(check int) "every line answered" 5 (List.length out);
+  Alcotest.(check string)
+    "canonical pong"
+    {|{"id":null,"ok":true,"op":"ping"}|}
+    (List.nth out 0);
+  (match Json.of_string_opt (List.nth out 2) with
+  | Some (Json.Assoc fields) -> (
+    Alcotest.(check bool)
+      "stats op echoed" true
+      (List.assoc_opt "op" fields = Some (Json.String "stats"));
+    match List.assoc_opt "cache" fields with
+    | Some (Json.Assoc cache) ->
+      let n k =
+        match List.assoc_opt k cache with
+        | Some (Json.Int v) -> v
+        | _ -> Alcotest.failf "stats cache missing %s" k
+      in
+      Alcotest.(check int) "one lookup so far" 1 (n "lookups");
+      Alcotest.(check int) "taxonomy balances" (n "lookups")
+        (n "hits" + n "misses" + n "rejects")
+    | _ -> Alcotest.fail "stats without a cache object")
+  | _ -> Alcotest.fail "stats reply is not a json object");
+  let error_kind line =
+    match Json.of_string_opt line with
+    | Some (Json.Assoc fields) -> (
+      match List.assoc_opt "error" fields with
+      | Some (Json.Assoc e) -> (
+        match List.assoc_opt "kind" e with
+        | Some (Json.String k) -> k
+        | _ -> "?")
+      | _ -> "?")
+    | _ -> "?"
+  in
+  Alcotest.(check string) "unknown op rejected" "bad_request"
+    (error_kind (List.nth out 3));
+  Alcotest.(check string) "extra control fields rejected" "bad_request"
+    (error_kind (List.nth out 4));
+  Alcotest.(check int) "two structured errors" 2 stats.Serve.errors
+
 (* --- cross-domain compile equivalence ------------------------------ *)
 
 (* 50 compiles fanned across 4 domains, every artifact checked against
@@ -805,6 +986,14 @@ let suite =
     ("persist corruption recovery", `Slow, test_persist_corruption_recovery);
     ("chaos crash under serve", `Slow, test_chaos_crash_under_serve);
     ("daemon socket roundtrip", `Slow, test_daemon_roundtrip);
+    ("daemon client roundtrip", `Slow, test_daemon_client_roundtrip);
+    ( "shard supervision arithmetic",
+      `Quick,
+      test_shard_supervision_arithmetic );
+    ("control verbs", `Quick, test_control_verbs);
+    (* Fleet tests that fork live in test/fleet/ (their own executable):
+       OCaml forbids Unix.fork in any process that ever created a
+       domain, and this binary's pool tests create domains. *)
     ("gen_corpus deterministic", `Quick, test_gen_corpus_deterministic);
     ( "cross-domain compile equivalence",
       `Slow,
