@@ -70,6 +70,16 @@ let kernels () =
       ~strategy:(Compile.Ic None) p36;
     (* Sec. VI ring-8 comparison *)
     compile_test ~name:"ring8-ic" ~device:ring8 ~strategy:(Compile.Ic None) p8;
+    (* commutation-DAG dataflow analysis of a compiled tokyo artifact:
+       the O(n^2) DAG build plus every schedule/slack/live-range pass *)
+    (let artifact =
+       Qaoa_circuit.Decompose.circuit
+         (Compile.compile ~strategy:(Compile.Ic None) tokyo p20 params)
+           .Compile.circuit
+     in
+     Test.make ~name:"analysis-dataflow-ic-tokyo"
+       (Staged.stage (fun () ->
+            ignore (Qaoa_analysis.Dataflow.analyze artifact))));
   ]
 
 let run_bechamel () =

@@ -71,7 +71,7 @@ let guard f =
     2
 
 let run () device strategy nodes kind seed p gamma beta packing_limit qasm
-    lint =
+    lint analyze =
   guard @@ fun () ->
   let rng = Rng.create seed in
   let graph =
@@ -92,7 +92,7 @@ let run () device strategy nodes kind seed p gamma beta packing_limit qasm
     | Compile.Vic _, Some l -> Compile.Vic (Some l)
     | s, _ -> s
   in
-  let options = { Compile.default_options with seed; lint } in
+  let options = { Compile.default_options with seed; lint; analyze } in
   let result = Compile.compile ~options ~strategy device problem params in
   Printf.printf "device:    %s (%d qubits)\n" device.Device.name
     (Device.num_qubits device);
@@ -116,6 +116,18 @@ let run () device strategy nodes kind seed p gamma beta packing_limit qasm
               (100.0 *. pt.Compile.wall_s
               /. Float.max 1e-12 result.Compile.compile_wall_s))
           result.Compile.phase_times));
+  (match result.Compile.static with
+  | None -> ()
+  | Some s ->
+    let module D = Qaoa_analysis.Dataflow in
+    (* "lower-bound:" on its own line: the CI gate awks it out and
+       asserts it never exceeds the "depth:" line above *)
+    Printf.printf "lower-bound: %d (critical path %d, busy bound %d)\n"
+      s.D.lower_bound s.D.critical_path s.D.busy_bound;
+    Printf.printf "static:    asap-depth %d | total-slack %d | live-pressure \
+                   %d/%d\n"
+      s.D.asap_depth s.D.total_slack s.D.live_pressure
+      (Device.num_qubits device));
   (match device.Device.calibration with
   | Some _ ->
     Printf.printf "success:   %.3e\n" (Compile.success_probability device result)
@@ -182,10 +194,19 @@ let cmd =
             "Run the static lint rules on the compiled circuit (recorded \
              as the lint phase); exit 1 if any ERROR finding is reported.")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Run the commutation-DAG dataflow analysis on the compiled \
+             circuit and report the policy-independent depth lower bound, \
+             critical path, slack and live-range pressure.")
+  in
   let term =
     Term.(
       const run $ Qaoa_cli.setup $ device $ strategy $ nodes $ kind $ seed $ p
-      $ gamma $ beta $ packing_limit $ qasm $ lint)
+      $ gamma $ beta $ packing_limit $ qasm $ lint $ analyze)
   in
   Cmd.v
     (Cmd.info "qaoa-compile" ~version:"1.0.0"

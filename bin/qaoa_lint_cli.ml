@@ -77,7 +77,14 @@ let demo_circuit device =
       Gate.Measure 3;
     ]
 
-let run () file demo device json max_depth min_success_prob deny =
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let run () file demo device json max_depth min_success_prob lower_bound_factor
+    deny dot dag_json =
   try
     let circuit, role, device =
       match (demo, file) with
@@ -98,9 +105,22 @@ let run () file demo device json max_depth min_success_prob deny =
         failwith "expected a .qasm file argument or --demo (see --help)"
     in
     let ctx =
-      Lint.context ?device ?max_depth ?min_success_prob ~role circuit
+      Lint.context ?device ?max_depth ?min_success_prob ?lower_bound_factor
+        ~role circuit
     in
     let findings = Lint.run ctx in
+    (* DAG exports ride on the same parsed circuit, so malformed input
+       keeps the exit-3 contract before anything is written *)
+    (if dot <> None || dag_json <> None then
+       let df = Qaoa_analysis.Dataflow.of_circuit circuit in
+       Option.iter
+         (fun path -> write_file path (Qaoa_analysis.Dataflow.to_dot df))
+         dot;
+       Option.iter
+         (fun path ->
+           write_file path
+             (Json.to_string (Qaoa_analysis.Dataflow.to_json df) ^ "\n"))
+         dag_json);
     if json then print_endline (Json.to_string (Lint.report_to_json findings))
     else print_string (Lint.to_text findings);
     Lint.exit_code ?deny findings
@@ -156,6 +176,15 @@ let cmd =
             "Warn when the estimated success probability (gate-error \
              product on the device calibration) falls below P.")
   in
+  let lower_bound_factor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "lower-bound-factor" ] ~docv:"F"
+          ~doc:
+            "Warn (QL013) when the decomposed depth exceeds F times the \
+             commutation depth lower bound.")
+  in
   let deny =
     Arg.(
       value
@@ -165,10 +194,29 @@ let cmd =
             "Fail (exit 1) on findings at or above this severity; ERROR \
              findings always exit 2.")
   in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the commutation DAG as Graphviz to FILE, critical-path \
+             nodes and edges highlighted.")
+  in
+  let dag_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dag-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the commutation DAG (nodes with ASAP/ALAP levels and \
+             slack, edges, summary with the depth lower bound) as JSON to \
+             FILE.")
+  in
   let term =
     Term.(
       const run $ Qaoa_cli.setup $ file $ demo $ device $ json $ max_depth
-      $ min_success_prob $ deny)
+      $ min_success_prob $ lower_bound_factor $ deny $ dot $ dag_json)
   in
   Cmd.v
     (Cmd.info "qaoa-lint" ~version:"1.0.0"

@@ -39,10 +39,21 @@ type context = {
   device : Device.t option;
   max_depth : int option;
   min_success_prob : float option;
+  lower_bound_factor : float option;
+  dataflow : Dataflow.t Lazy.t;
 }
 
-let context ?device ?max_depth ?min_success_prob ~role circuit =
-  { circuit; role; device; max_depth; min_success_prob }
+let context ?device ?max_depth ?min_success_prob ?lower_bound_factor ~role
+    circuit =
+  {
+    circuit;
+    role;
+    device;
+    max_depth;
+    min_success_prob;
+    lower_bound_factor;
+    dataflow = lazy (Dataflow.of_circuit circuit);
+  }
 
 type rule = {
   id : string;
@@ -190,7 +201,7 @@ let check_redundant_adjacent ctx =
         gate_span = Some (i, j);
         fix_hint = Some "run the Optimize pass (or stop re-emitting the inverse pair)";
       })
-    (Optimize.redundancies ctx.circuit)
+    (Optimize.redundancies ~through_commuting:false ctx.circuit)
 
 (* QL006: a SWAP followed on both wires only by measurements permutes
    classical bits, not quantum state - it can be deleted and absorbed
@@ -293,6 +304,186 @@ let check_success_prob ctx =
       ]
   | _ -> []
 
+(* QL009: a SWAP with zero commutation slack sits on the critical path -
+   its 3 CNOTs stretch the whole circuit, where an off-path SWAP hides
+   in another wire's shadow for free. *)
+let check_critical_swap ctx =
+  let df = Lazy.force ctx.dataflow in
+  let dag = Dataflow.dag df in
+  let findings = ref [] in
+  for id = Commute.num_nodes dag - 1 downto 0 do
+    match Commute.gate dag id with
+    | Gate.Swap (a, b) when Dataflow.slack df id = 0 ->
+      findings :=
+        {
+          rule = "QL009";
+          severity = Warn;
+          message =
+            Printf.sprintf
+              "swap(%d, %d) has zero commutation slack - its 3 CNOTs extend \
+               the critical path"
+              a b;
+          gate_span = Some (id, id);
+          fix_hint =
+            Some
+              "choose a route that keeps SWAPs off the critical path, or \
+               absorb this one into the initial mapping";
+        }
+        :: !findings
+    | _ -> ()
+  done;
+  !findings
+
+(* QL010: two commuting CPHASEs that are consecutive on a shared qubit
+   yet sit layers apart - the wire idles in between even though the DAG
+   allows packing them closer. *)
+let missed_packing_gap = 3
+
+let check_missed_packing ctx =
+  let df = Lazy.force ctx.dataflow in
+  let dag = Dataflow.dag df in
+  let layers = Dataflow.measured_layers ctx.circuit in
+  let gates = Array.of_list (Circuit.gates ctx.circuit) in
+  let n = Circuit.num_qubits ctx.circuit in
+  let last_on = Array.make n (-1) in
+  let findings = ref [] in
+  Array.iteri
+    (fun j g ->
+      List.iter
+        (fun q ->
+          let i = last_on.(q) in
+          (match (g, if i >= 0 then Some gates.(i) else None) with
+          | Gate.Cphase _, Some (Gate.Cphase _) ->
+            let gap = layers.(j) - layers.(i) - 1 in
+            if gap >= missed_packing_gap && not (Commute.reachable dag i j)
+            then
+              findings :=
+                {
+                  rule = "QL010";
+                  severity = Info;
+                  message =
+                    Printf.sprintf
+                      "commuting %s (layer %d) and %s (layer %d) are \
+                       consecutive on qubit %d but %d idle layers apart - \
+                       packing missed"
+                      (gate_str gates.(i)) layers.(i) (gate_str g) layers.(j)
+                      q gap;
+                  gate_span = Some (i, j);
+                  fix_hint =
+                    Some
+                      "let a commutation-aware scheduler (IC/VIC layer \
+                       formation) pull the later CPHASE earlier";
+                }
+                :: !findings
+          | _ -> ());
+          last_on.(q) <- j)
+        (Gate.qubits g))
+    gates;
+  List.rev !findings
+
+(* QL011: a measured qubit idling for several layers between its last
+   gate and its measurement - the wire stays live (and decohering) for
+   nothing; an ALAP-scheduled measurement would end it sooner. *)
+let measure_delay_gap = 5
+
+let check_measure_delay ctx =
+  let layers = Dataflow.measured_layers ctx.circuit in
+  let gates = Array.of_list (Circuit.gates ctx.circuit) in
+  let n = Circuit.num_qubits ctx.circuit in
+  let last_gate = Array.make n (-1) in
+  let findings = ref [] in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Gate.Measure q ->
+        if last_gate.(q) >= 0 then begin
+          let prev = last_gate.(q) in
+          let gap = layers.(i) - layers.(prev) - 1 in
+          if gap >= measure_delay_gap then
+            findings :=
+              {
+                rule = "QL011";
+                severity = Info;
+                message =
+                  Printf.sprintf
+                    "qubit %d idles %d layers between its last gate (%s, \
+                     layer %d) and its measurement - live long past last use"
+                    q gap (gate_str gates.(prev)) layers.(prev);
+                gate_span = Some (prev, i);
+                fix_hint =
+                  Some
+                    "schedule the measurement ALAP-adjacent to the last gate \
+                     to cut idle decoherence";
+              }
+              :: !findings
+        end;
+        last_gate.(q) <- i
+      | Gate.Barrier -> ()
+      | _ -> List.iter (fun q -> last_gate.(q) <- i) (Gate.qubits g))
+    gates;
+  List.rev !findings
+
+(* QL012: redundant pairs reachable only through commuting neighbours -
+   plain adjacency (QL005) cannot see them; a commutation-aware rewrite
+   (the strengthened Optimize pass) cancels or merges them. *)
+let check_commuting_redundancy ctx =
+  let plain = Optimize.redundancies ~through_commuting:false ctx.circuit in
+  let full = Optimize.redundancies ~through_commuting:true ctx.circuit in
+  let gates = Array.of_list (Circuit.gates ctx.circuit) in
+  full
+  |> List.filter (fun pair -> not (List.mem pair plain))
+  |> List.map (fun (i, j) ->
+         {
+           rule = "QL012";
+           severity = Warn;
+           message =
+             Printf.sprintf
+               "%s at gate %d cancels against or merges into %s at gate %d \
+                after commuting past the %d intervening gate(s)"
+               (gate_str gates.(j)) j (gate_str gates.(i)) i
+               (j - i - 1);
+           gate_span = Some (i, j);
+           fix_hint =
+             Some
+               "run the Optimize pass (it reaches partners through commuting \
+                neighbours)";
+         })
+
+(* QL013: depth more than a configurable factor above the commutation
+   depth lower bound - most of the circuit's length is scheduling waste,
+   not structure.  Computed on the decomposed circuit so the bound and
+   the measured depth share a gate basis. *)
+let check_depth_above_bound ctx =
+  match ctx.lower_bound_factor with
+  | None -> []
+  | Some factor ->
+    let s = Dataflow.analyze (Decompose.circuit ctx.circuit) in
+    if
+      s.Dataflow.lower_bound > 0
+      && float_of_int s.Dataflow.measured_depth
+         > factor *. float_of_int s.Dataflow.lower_bound
+    then
+      [
+        {
+          rule = "QL013";
+          severity = Warn;
+          message =
+            Printf.sprintf
+              "decomposed depth %d is %.2fx the commutation lower bound %d \
+               (budget %.2fx)"
+              s.Dataflow.measured_depth
+              (float_of_int s.Dataflow.measured_depth
+              /. float_of_int s.Dataflow.lower_bound)
+              s.Dataflow.lower_bound factor;
+          gate_span = None;
+          fix_hint =
+            Some
+              "a commutation-aware policy (IC/VIC) or better routing could \
+               close the gap to the bound";
+        };
+      ]
+    else []
+
 let builtin_rules =
   [
     {
@@ -350,6 +541,41 @@ let builtin_rules =
       severity = Warn;
       roles = [ Compiled ];
       check = check_success_prob;
+    };
+    {
+      id = "QL009";
+      name = "critical-swap";
+      severity = Warn;
+      roles = [ Compiled ];
+      check = check_critical_swap;
+    };
+    {
+      id = "QL010";
+      name = "missed-packing";
+      severity = Info;
+      roles = [ Logical; Compiled ];
+      check = check_missed_packing;
+    };
+    {
+      id = "QL011";
+      name = "measure-delay";
+      severity = Info;
+      roles = [ Logical; Compiled ];
+      check = check_measure_delay;
+    };
+    {
+      id = "QL012";
+      name = "commuting-redundancy";
+      severity = Warn;
+      roles = [ Logical; Compiled ];
+      check = check_commuting_redundancy;
+    };
+    {
+      id = "QL013";
+      name = "depth-above-bound";
+      severity = Warn;
+      roles = [ Logical; Compiled ];
+      check = check_depth_above_bound;
     };
   ]
 

@@ -38,7 +38,6 @@ let combine prev g =
 type buffer = {
   mutable gates : Gate.t option array;  (** None = removed *)
   mutable len : int;
-  last : int array;  (** per qubit: index of the latest live gate, or -1 *)
 }
 
 let push buf g =
@@ -48,27 +47,9 @@ let push buf g =
     buf.gates <- bigger
   end;
   buf.gates.(buf.len) <- Some g;
-  List.iter (fun q -> buf.last.(q) <- buf.len) (Gate.qubits g);
   buf.len <- buf.len + 1
 
-let fence buf idx =
-  (* a barrier blocks optimization across it on every qubit *)
-  Array.iteri (fun q _ -> buf.last.(q) <- idx) buf.last
-
-let recompute_last buf q =
-  let rec scan i =
-    if i < 0 then buf.last.(q) <- -1
-    else
-      match buf.gates.(i) with
-      | Some Gate.Barrier -> buf.last.(q) <- i
-      | Some g when List.mem q (Gate.qubits g) -> buf.last.(q) <- i
-      | _ -> scan (i - 1)
-  in
-  scan (buf.len - 1)
-
-let kill buf i qs =
-  buf.gates.(i) <- None;
-  List.iter (recompute_last buf) qs
+let kill buf i = buf.gates.(i) <- None
 
 (* Z-basis-diagonal gates all commute with each other, whatever qubits
    they share. *)
@@ -76,60 +57,54 @@ let is_diagonal = function
   | Gate.Z _ | Gate.Rz _ | Gate.Phase _ | Gate.Cphase _ -> true
   | _ -> false
 
-(* Index of the nearest earlier live gate [g] can merge with.  The plain
-   notion of adjacency requires every qubit of [g] to last see the same
-   gate, on exactly the same qubit set.  A diagonal [g] may additionally
-   look {e through} earlier diagonal gates on overlapping qubits (they
-   commute), so [cphase(a,b); rz(a); cphase(a,b)] merges. *)
+(* Index of the nearest earlier live gate [g] can merge with, looking
+   through any gate that commutes with [g] ([Dag.commutes]: disjoint
+   qubits, diagonal pairs, equal-axis rotations, CNOT control/target
+   rules).  Soundness of acting at a distance: every gate between the
+   partner and the buffer end commutes with [g], so [g] moves back
+   adjacent to the partner; and because the commutation relation is a
+   function of gate shape (constructor + qubits), never of angles, the
+   merged gate commutes with exactly the gates [g] did, so [insert] may
+   re-place it at the buffer end. *)
 let merge_partner buf g qs =
   let sorted_qs = List.sort compare qs in
   let combinable prev =
     List.sort compare (Gate.qubits prev) = sorted_qs && combine prev g <> Keep
   in
-  if is_diagonal g then
-    let rec scan j =
-      if j < 0 then None
-      else
-        match buf.gates.(j) with
-        | None -> scan (j - 1)
-        | Some Gate.Barrier -> None
-        | Some prev ->
-          if combinable prev then Some j
-          else if List.exists (fun q -> List.mem q qs) (Gate.qubits prev) then
-            if is_diagonal prev then scan (j - 1) else None
-          else scan (j - 1)
-    in
-    scan (buf.len - 1)
-  else
-    match List.map (fun q -> buf.last.(q)) qs with
-    | i :: rest when i >= 0 && List.for_all (fun j -> j = i) rest -> (
-      match buf.gates.(i) with
-      | Some prev when combinable prev -> Some i
-      | _ -> None)
-    | _ -> None
+  let rec scan j =
+    if j < 0 then None
+    else
+      match buf.gates.(j) with
+      | None -> scan (j - 1)
+      | Some Gate.Barrier -> None
+      | Some prev ->
+        if combinable prev then Some j
+        else if Dag.commutes prev g then scan (j - 1)
+        else None
+  in
+  scan (buf.len - 1)
 
 let rec insert buf g =
   if is_identity g then ()
   else
     match Gate.qubits g with
     | [] ->
-      (* barrier: keep it and fence every qubit *)
-      push buf g;
-      fence buf (buf.len - 1)
+      (* barrier: keep it; merge_partner stops at it on every qubit *)
+      push buf g
     | qs -> (
       match merge_partner buf g qs with
       | Some i -> (
         match combine (Option.get buf.gates.(i)) g with
-        | Cancel -> kill buf i qs
+        | Cancel -> kill buf i
         | Replace merged ->
-          kill buf i qs;
+          kill buf i;
           insert buf merged
         | Keep -> assert false)
       | None -> push buf g)
 
 let one_pass circuit =
   let n = Circuit.num_qubits circuit in
-  let buf = { gates = Array.make 64 None; len = 0; last = Array.make n (-1) } in
+  let buf = { gates = Array.make 64 None; len = 0 } in
   List.iter (insert buf) (Circuit.gates circuit);
   let out = ref [] in
   for i = buf.len - 1 downto 0 do
@@ -139,9 +114,13 @@ let one_pass circuit =
 
 (* First-order redundancy locations, for the lint engine: pairs of gate
    indices (i, j) with i < j where gate j could cancel against or merge
-   into gate i under exactly the adjacency notion [insert] uses
-   (including the diagonal look-through), without rewriting anything. *)
-let redundancies circuit =
+   into gate i under the look-through notion [insert] uses, without
+   rewriting anything.  [~through_commuting:false] restricts the
+   look-through to the historical notion - disjoint qubits plus the
+   diagonal-through-diagonal rule - which the lint engine uses to tell
+   plainly-adjacent pairs (QL005) from pairs only a commutation-aware
+   rewrite can reach (QL012). *)
+let redundancies ?(through_commuting = true) circuit =
   let gates = Array.of_list (Circuit.gates circuit) in
   let found = ref [] in
   Array.iteri
@@ -155,17 +134,19 @@ let redundancies circuit =
           && combine prev g <> Keep
         in
         let diagonal = is_diagonal g in
+        let see_through prev =
+          if through_commuting then Dag.commutes prev g
+          else
+            (not (List.exists (fun q -> List.mem q qs) (Gate.qubits prev)))
+            || (diagonal && is_diagonal prev)
+        in
         let rec scan i =
           if i >= 0 then
             match gates.(i) with
             | Gate.Barrier -> ()
             | prev ->
               if combinable prev then found := (i, j) :: !found
-              else if List.exists (fun q -> List.mem q qs) (Gate.qubits prev)
-              then begin
-                if diagonal && is_diagonal prev then scan (i - 1)
-              end
-              else scan (i - 1)
+              else if see_through prev then scan (i - 1)
         in
         scan (j - 1))
     gates;

@@ -1,35 +1,46 @@
-(** Peephole circuit optimization: cancellation of adjacent self-inverse
-    gate pairs and merging of adjacent rotations.
+(** Peephole circuit optimization: cancellation of self-inverse gate
+    pairs and merging of rotations, with merge partners found through
+    any {e commuting} intervening gates.
 
-    Two gates are "adjacent" when no other gate touches any of their
-    qubits in between ([Barrier] fences all qubits).  Rules applied to a
-    fixpoint:
+    A gate looks backward for its partner, scanning through every gate
+    that commutes with it under {!Dag.commutes} (disjoint qubits,
+    diagonal pairs, equal-axis rotations on a shared qubit, CNOT
+    control/target rules) and stopping at the first non-commuting gate
+    or [Barrier].  Rules applied to a fixpoint:
 
     - self-inverse pairs cancel: H-H, X-X, Y-Y, Z-Z, CNOT-CNOT (same
       orientation), SWAP-SWAP;
     - rotations about the same axis merge: RX+RX, RY+RY, RZ+RZ, U1+U1,
       CPHASE+CPHASE (either qubit order - the gate is symmetric);
     - rotations whose angle is 0 (mod 2 pi) are dropped (a 2 pi rotation
-      is a global phase);
-    - Z-basis-diagonal gates (Z, RZ, U1, CPHASE) additionally commute
-      through earlier diagonal gates on overlapping qubits when looking
-      for a partner, so [cphase(a,b); rz(a); cphase(a,b)] merges into
-      [rz(a); cphase(a,b)].
+      is a global phase).
+
+    The commuting look-through reaches pairs plain adjacency cannot:
+    [cnot(0,1); rz(0); cnot(0,1)] collapses to [rz(0)] (the RZ commutes
+    through the CNOT's control), and [cphase(a,b); rz(a); cphase(a,b)]
+    merges as before.  Acting at a distance is sound because the
+    commutation relation depends only on gate shape (constructor and
+    qubits), never on rotation angles, so a merged rotation commutes
+    with exactly the gates its operands did.
 
     All rewrites preserve the circuit semantics up to global phase
-    (property-tested).  The pass pays off most after routing and
+    (property-tested against both the statevector simulator and the
+    phase-polynomial oracle).  The pass pays off most after routing and
     decomposition, where SWAP and CPHASE lowerings place cancelling
     CNOTs back to back. *)
 
 val circuit : Circuit.t -> Circuit.t
 (** Optimize to a fixpoint.  Never increases the gate count. *)
 
-val redundancies : Circuit.t -> (int * int) list
+val redundancies : ?through_commuting:bool -> Circuit.t -> (int * int) list
 (** First-order redundancy witnesses without rewriting: pairs [(i, j)]
     with [i < j] where gate [j] would cancel against or merge into gate
-    [i] under the pass's adjacency notion (including the diagonal
-    look-through).  Empty on a fixpoint of {!circuit}.  The lint engine
-    uses this to locate "pair survives Optimize" findings. *)
+    [i] under the pass's look-through notion.  Empty on a fixpoint of
+    {!circuit}.  [~through_commuting:false] (default [true]) restricts
+    the look-through to the historical notion - disjoint qubits plus
+    diagonal-through-diagonal - which the lint engine uses to separate
+    plainly-adjacent pairs (QL005) from pairs reachable only through
+    commuting neighbours (QL012). *)
 
 type stats = { gates_before : int; gates_after : int; passes : int }
 

@@ -51,6 +51,7 @@ type options = {
   peephole : bool;
   verify : bool;
   lint : bool;
+  analyze : bool;
   deadline_s : float option;
   router : Router.config;
   qaim : Qaim.config;
@@ -63,6 +64,7 @@ let default_options =
     peephole = false;
     verify = false;
     lint = false;
+    analyze = false;
     deadline_s = None;
     router = Router.default_config;
     qaim = Qaim.default_config;
@@ -136,6 +138,7 @@ type result = {
   compile_cpu_s : float;
   phase_times : phase_time list;
   metrics : Metrics.t;
+  static : Qaoa_analysis.Dataflow.summary option;
   lint_findings : Qaoa_analysis.Lint.finding list;
 }
 
@@ -269,6 +272,27 @@ let compile ?(options = default_options) ~strategy device problem params =
   let metrics =
     timed "metrics" (fun () -> Metrics.of_circuit routed.Router.circuit)
   in
+  let static =
+    if not options.analyze then None
+    else
+      Some
+        (timed "analyze" (fun () ->
+             (* the commutation depth lower bound and the measured depth
+                must share a gate basis, so analyze the decomposed
+                circuit (Metrics decomposes internally the same way) *)
+             let s =
+               Qaoa_analysis.Dataflow.analyze
+                 (Qaoa_circuit.Decompose.circuit routed.Router.circuit)
+             in
+             let lb = s.Qaoa_analysis.Dataflow.lower_bound in
+             Trace.add_attr "lower_bound" (Trace.int lb);
+             Trace.add_attr "total_slack"
+               (Trace.int s.Qaoa_analysis.Dataflow.total_slack);
+             if lb > 0 then
+               Metrics_registry.observe "compile.depth_over_lower_bound"
+                 (float_of_int metrics.Metrics.depth /. float_of_int lb);
+             s))
+  in
   let lint_findings =
     if not options.lint then []
     else
@@ -290,6 +314,7 @@ let compile ?(options = default_options) ~strategy device problem params =
     compile_cpu_s;
     phase_times = List.rev !phases;
     metrics;
+    static;
     lint_findings;
   }
   with

@@ -45,6 +45,14 @@ type options = {
           phase in the per-phase breakdown.  Findings never fail the
           compile - callers decide (the CLI's [--lint] exits non-zero on
           ERROR findings; default false) *)
+  analyze : bool;
+      (** run the {!Qaoa_analysis.Dataflow} commutation-DAG analysis on
+          the decomposed compiled circuit and record the summary in
+          [result.static]; accounted as the ["analyze"] phase.  The
+          summary's [lower_bound] is policy-independent, so all 7
+          policies can be compared against the same floor; the
+          ["compile.depth_over_lower_bound"] histogram records
+          [metrics.depth / lower_bound] (default false) *)
   deadline_s : float option;
       (** wall-clock budget for one compile; the routing loops poll it
           cooperatively, surfacing {!Error} [(Deadline_exceeded _)] at
@@ -99,10 +107,11 @@ val error_to_string : error -> string
 type phase_time = {
   phase : string;
       (** ["mapping"], ["ordering"], ["routing"], ["verify"] (only with
-          [options.verify]), ["decomposition"], ["metrics"] or ["lint"]
-          (only with [options.lint]); for IC/VIC, ordering is
-          interleaved with routing inside [Ic.compile] and is accounted
-          under ["routing"] *)
+          [options.verify]), ["decomposition"], ["metrics"], ["analyze"]
+          (only with [options.analyze]) or ["lint"] (only with
+          [options.lint]); for IC/VIC, ordering is interleaved with
+          routing inside [Ic.compile] and is accounted under
+          ["routing"] *)
   wall_s : float;
   cpu_s : float;
 }
@@ -123,6 +132,12 @@ type result = {
       (** per-phase breakdown in execution order; the wall times sum to
           the whole of [compile_wall_s] except a few clock reads *)
   metrics : Qaoa_circuit.Metrics.t;  (** of the decomposed circuit *)
+  static : Qaoa_analysis.Dataflow.summary option;
+      (** commutation-DAG dataflow summary of the decomposed circuit
+          (depth lower bound, critical path, slack, live pressure);
+          [None] unless [options.analyze].  Invariant:
+          [static.lower_bound <= metrics.depth] for every policy (both
+          are computed on the same decomposed gate basis) *)
   lint_findings : Qaoa_analysis.Lint.finding list;
       (** findings of the ["lint"] phase; [[]] unless [options.lint] *)
 }

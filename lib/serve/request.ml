@@ -15,13 +15,14 @@ type t = {
   beta : float;
   measure : bool;
   verify : bool;
+  analyze : bool;
   qasm_out : bool;
 }
 
 let known_fields =
   [
     "id"; "graph"; "qasm"; "device"; "policy"; "seed"; "p"; "gamma"; "beta";
-    "packing_limit"; "measure"; "verify"; "qasm_out";
+    "packing_limit"; "measure"; "verify"; "analyze"; "qasm_out";
   ]
 
 let ( let* ) = Result.bind
@@ -152,6 +153,7 @@ let of_line line =
       let* beta = float_field ~default:0.4 "beta" json in
       let* measure = bool_field ~default:true "measure" json in
       let* verify = bool_field ~default:false "verify" json in
+      let* analyze = bool_field ~default:false "analyze" json in
       let* qasm_out = bool_field ~default:false "qasm_out" json in
       if p < 1 then Error "field \"p\" must be >= 1"
       else
@@ -167,6 +169,7 @@ let of_line line =
             beta;
             measure;
             verify;
+            analyze;
             qasm_out;
           })
   | Some _ -> Error "request must be a JSON object"
@@ -224,6 +227,7 @@ let to_json t =
         ("beta", Json.Float t.beta);
         ("measure", Json.Bool t.measure);
         ("verify", Json.Bool t.verify);
+        ("analyze", Json.Bool t.analyze);
         ("qasm_out", Json.Bool t.qasm_out);
       ])
 
@@ -238,7 +242,8 @@ let fingerprint t =
   add ";device=%s;policy=%s" t.device (Compile.strategy_name t.policy);
   (* hex floats: exact, no decimal-rounding aliasing *)
   add ";seed=%d;p=%d;gamma=%h;beta=%h" t.seed t.p t.gamma t.beta;
-  add ";measure=%b;verify=%b;qasm_out=%b" t.measure t.verify t.qasm_out;
+  add ";measure=%b;verify=%b;analyze=%b;qasm_out=%b" t.measure t.verify
+    t.analyze t.qasm_out;
   Buffer.contents buf
 
 let graph_hash t =

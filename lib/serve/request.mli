@@ -13,6 +13,7 @@
      "gamma": 0.7, "beta": 0.4,
      "packing_limit": 11,             // IC/VIC only; optional
      "measure": true, "verify": false,
+     "analyze": false,                // attach the commutation-DAG static record
      "qasm_out": false}               // include compiled OpenQASM in response
     v}
 
@@ -43,6 +44,11 @@ type t = {
   beta : float;
   measure : bool;
   verify : bool;
+  analyze : bool;
+      (** attach the {!Qaoa_analysis.Dataflow} static record (depth
+          lower bound, critical path, slack, live pressure) to the
+          response as ["static"]; part of the fingerprint, so cached
+          hits replay the same analysis byte-identically *)
   qasm_out : bool;
 }
 
@@ -72,8 +78,8 @@ val to_json : t -> Qaoa_obs.Json.t
 val fingerprint : t -> string
 (** Canonical rendering of every field except [id] - exact edge list
     (or qasm text), device, policy, seed, p, angles (hex floats, so no
-    decimal rounding), measure/verify/qasm_out.  Equal fingerprints
-    imply byte-identical response bodies. *)
+    decimal rounding), measure/verify/analyze/qasm_out.  Equal
+    fingerprints imply byte-identical response bodies. *)
 
 val graph_hash : t -> int
 (** {!Qaoa_graph.Graph.canonical_hash} of the problem graph for graph

@@ -265,6 +265,7 @@ let gen_corpus ?(device = "tokyo") ~seed ~count () =
           beta = 0.4;
           measure = true;
           verify = i mod 5 = 0;
+          analyze = i mod 7 = 0;
           qasm_out = false;
         }
       in

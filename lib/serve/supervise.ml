@@ -12,6 +12,8 @@ module Mapping = Qaoa_backend.Mapping
 module Circuit = Qaoa_circuit.Circuit
 module Metrics = Qaoa_circuit.Metrics
 module Qasm = Qaoa_circuit.Qasm
+module Decompose = Qaoa_circuit.Decompose
+module Dataflow = Qaoa_analysis.Dataflow
 module Graph = Qaoa_graph.Graph
 module Chaos = Qaoa_journal.Chaos
 
@@ -246,6 +248,7 @@ let options_of (req : Request.t) ~seed ~deadline_s =
     seed;
     measure = req.Request.measure;
     verify = req.Request.verify;
+    analyze = req.Request.analyze;
     deadline_s;
   }
 
@@ -254,6 +257,9 @@ let success_body (req : Request.t) device ~qubits (r : Compile.result) =
     ~policy:(Compile.strategy_name r.Compile.strategy)
     ~qubits ~metrics:r.Compile.metrics ~swaps:r.Compile.swap_count
   @ (if req.Request.verify then [ ("verified", Json.Bool true) ] else [])
+  @ (match (req.Request.analyze, r.Compile.static) with
+    | true, Some s -> [ ("static", Dataflow.summary_to_json s) ]
+    | _ -> [])
   @
   if req.Request.qasm_out then
     [ ("qasm", Json.String (Qasm.to_string r.Compile.circuit)) ]
@@ -416,6 +422,16 @@ let route_qasm (req : Request.t) device ~qasm =
             (metrics_fields ~device ~policy:"route" ~qubits:nq
                ~metrics:(Metrics.of_circuit routed.Router.circuit)
                ~swaps:routed.Router.swap_count
+            @ (if req.Request.analyze then
+                 (* same gate basis as the compile path: analyze the
+                    decomposed routed circuit *)
+                 [
+                   ( "static",
+                     Dataflow.summary_to_json
+                       (Dataflow.analyze
+                          (Decompose.circuit routed.Router.circuit)) );
+                 ]
+               else [])
             @
             if req.Request.qasm_out then
               [ ("qasm", Json.String (Qasm.to_string routed.Router.circuit)) ]

@@ -11,6 +11,11 @@ module Calibration = Qaoa_hardware.Calibration
 module Topologies = Qaoa_hardware.Topologies
 module Phase_poly = Qaoa_analysis.Phase_poly
 module Lint = Qaoa_analysis.Lint
+module Commute = Qaoa_analysis.Commute
+module Dataflow = Qaoa_analysis.Dataflow
+module Layering = Qaoa_circuit.Layering
+module Decompose = Qaoa_circuit.Decompose
+module Metrics = Qaoa_circuit.Metrics
 module Check = Qaoa_verify.Check
 module Problem = Qaoa_core.Problem
 module Ansatz = Qaoa_core.Ansatz
@@ -282,10 +287,11 @@ let test_default_options_env_override () =
 
 let rule_ids findings = List.map (fun f -> f.Lint.rule) findings
 
-let lint ?device ?max_depth ?min_success_prob ~role gates ~n =
+let lint ?device ?max_depth ?min_success_prob ?lower_bound_factor ~role gates
+    ~n =
   Lint.run
-    (Lint.context ?device ?max_depth ?min_success_prob ~role
-       (Circuit.of_gates n gates))
+    (Lint.context ?device ?max_depth ?min_success_prob ?lower_bound_factor
+       ~role (Circuit.of_gates n gates))
 
 let test_ql001_uncoupled_pair () =
   let device = Topologies.linear 3 in
@@ -398,6 +404,259 @@ let test_ql008_success_probability () =
   in
   Alcotest.(check bool) "0.81 >= 0.5 silent" false
     (List.mem "QL008" (rule_ids silent))
+
+let test_ql009_critical_swap () =
+  let fires =
+    lint ~role:Lint.Compiled ~n:2
+      [ Gate.Swap (0, 1); Gate.Measure 0; Gate.Measure 1 ]
+  in
+  Alcotest.(check bool) "zero-slack swap fires" true
+    (List.mem "QL009" (rule_ids fires));
+  (* a longer parallel chain on qubit 2 gives the swap slack *)
+  let silent =
+    lint ~role:Lint.Compiled ~n:3
+      [
+        Gate.H 2; Gate.H 2; Gate.H 2;
+        Gate.Swap (0, 1); Gate.Measure 0; Gate.Measure 1;
+      ]
+  in
+  Alcotest.(check bool) "slackful swap silent" false
+    (List.mem "QL009" (rule_ids silent))
+
+let test_ql010_missed_packing () =
+  (* the two cphases commute yet the as-given schedule parks them 3
+     idle layers apart on qubit 0 *)
+  let fires =
+    lint ~role:Lint.Logical ~n:3
+      [
+        Gate.Cphase (0, 1, 0.3);
+        Gate.H 2; Gate.H 2; Gate.H 2; Gate.H 2;
+        Gate.Cphase (0, 2, 0.4);
+      ]
+  in
+  Alcotest.(check bool) "gap of 3 fires" true
+    (List.mem "QL010" (rule_ids fires));
+  let silent =
+    lint ~role:Lint.Logical ~n:3
+      [
+        Gate.Cphase (0, 1, 0.3);
+        Gate.H 2; Gate.H 2;
+        Gate.Cphase (0, 2, 0.4);
+      ]
+  in
+  Alcotest.(check bool) "small gap silent" false
+    (List.mem "QL010" (rule_ids silent))
+
+let test_ql011_measure_delay () =
+  (* the barrier fences the measurement 5 idle layers past qubit 0's
+     last gate *)
+  let fires =
+    lint ~role:Lint.Logical ~n:2
+      [
+        Gate.H 0;
+        Gate.H 1; Gate.H 1; Gate.H 1; Gate.H 1; Gate.H 1; Gate.H 1;
+        Gate.Barrier;
+        Gate.Measure 0;
+      ]
+  in
+  Alcotest.(check bool) "idle wire fires" true
+    (List.mem "QL011" (rule_ids fires));
+  let silent =
+    lint ~role:Lint.Logical ~n:2
+      [
+        Gate.H 0;
+        Gate.H 1; Gate.H 1; Gate.H 1;
+        Gate.Barrier;
+        Gate.Measure 0;
+      ]
+  in
+  Alcotest.(check bool) "short idle silent" false
+    (List.mem "QL011" (rule_ids silent))
+
+let test_ql012_commuting_redundancy () =
+  let fires =
+    lint ~role:Lint.Logical ~n:2
+      [ Gate.Cnot (0, 1); Gate.Rz (0, 0.5); Gate.Cnot (0, 1) ]
+  in
+  (match List.find_opt (fun f -> f.Lint.rule = "QL012") fires with
+  | Some f ->
+    Alcotest.(check (option (pair int int))) "span" (Some (0, 2))
+      f.Lint.gate_span
+  | None -> Alcotest.fail "expected QL012");
+  (* plain-adjacent pairs stay QL005's business *)
+  Alcotest.(check bool) "adjacent pair is not QL012" false
+    (List.mem "QL012"
+       (rule_ids (lint ~role:Lint.Logical ~n:2 [ Gate.H 0; Gate.H 0 ])));
+  (* an H wall blocks commuting traversal: neither notion sees a pair *)
+  let silent =
+    lint ~role:Lint.Logical ~n:2
+      [ Gate.Cnot (0, 1); Gate.H 0; Gate.Cnot (0, 1) ]
+  in
+  Alcotest.(check bool) "blocked silent" false
+    (List.mem "QL012" (rule_ids silent))
+
+let test_ql013_depth_above_bound () =
+  (* an all-diagonal circuit whose as-given order wastes depth the
+     commutation DAG can see; the budget factor is set empirically
+     around the true waste ratio so the test tracks the analysis, not a
+     hand-computed constant *)
+  let gates =
+    [
+      Gate.Rz (0, 0.1); Gate.Cphase (0, 1, 0.3); Gate.Rz (1, 0.2);
+      Gate.Cphase (1, 2, 0.4); Gate.Rz (2, 0.3);
+    ]
+  in
+  let s = Dataflow.analyze (Decompose.circuit (Circuit.of_gates 3 gates)) in
+  let ratio =
+    float_of_int s.Dataflow.measured_depth
+    /. float_of_int s.Dataflow.lower_bound
+  in
+  Alcotest.(check bool) "the circuit wastes depth" true (ratio > 1.1);
+  let fires =
+    lint ~lower_bound_factor:(ratio *. 0.9) ~role:Lint.Logical ~n:3 gates
+  in
+  Alcotest.(check bool) "budget below the ratio fires" true
+    (List.mem "QL013" (rule_ids fires));
+  let silent =
+    lint ~lower_bound_factor:(ratio *. 1.1) ~role:Lint.Logical ~n:3 gates
+  in
+  Alcotest.(check bool) "budget above the ratio silent" false
+    (List.mem "QL013" (rule_ids silent));
+  let absent = lint ~role:Lint.Logical ~n:3 gates in
+  Alcotest.(check bool) "no budget, no rule" false
+    (List.mem "QL013" (rule_ids absent))
+
+(* --- commutation DAG and dataflow ---------------------------------- *)
+
+let test_commute_transitive_reduction () =
+  let dag =
+    Commute.build (Circuit.of_gates 1 [ Gate.H 0; Gate.H 0; Gate.H 0 ])
+  in
+  Alcotest.(check (list (pair int int)))
+    "chain edges only" [ (0, 1); (1, 2) ] (Commute.edges dag);
+  Alcotest.(check bool) "0 reaches 2 transitively" true
+    (Commute.reachable dag 0 2);
+  Alcotest.(check bool) "never backwards" false (Commute.reachable dag 2 0)
+
+let test_commute_cost_layer_edge_free () =
+  (* a 4-cycle's cost layer: all cphases commute pairwise, so the DAG
+     has no edges and the lower bound is the busy bound of 2, not the
+     as-given depth of 4 *)
+  let c =
+    Circuit.of_gates 4
+      (List.map
+         (fun (a, b) -> Gate.Cphase (a, b, 0.5))
+         [ (0, 1); (1, 2); (2, 3); (3, 0) ])
+  in
+  let dag = Commute.build c in
+  Alcotest.(check (list (pair int int))) "no edges" [] (Commute.edges dag);
+  let s = Dataflow.analyze c in
+  Alcotest.(check int) "critical path" 1 s.Dataflow.critical_path;
+  Alcotest.(check int) "busy bound" 2 s.Dataflow.busy_bound;
+  Alcotest.(check int) "lower bound" 2 s.Dataflow.lower_bound;
+  Alcotest.(check int) "greedy achieves the bound" 2 s.Dataflow.asap_depth;
+  Alcotest.(check int) "as-given order wastes" 4 s.Dataflow.measured_depth
+
+let test_dataflow_slack_and_critical () =
+  let df =
+    Dataflow.of_circuit (Circuit.of_gates 2 [ Gate.H 0; Gate.H 0; Gate.H 1 ])
+  in
+  Alcotest.(check int) "h1 slack" 1 (Dataflow.slack df 2);
+  Alcotest.(check int) "chain slack" 0 (Dataflow.slack df 0);
+  Alcotest.(check bool) "chain critical" true (Dataflow.critical df 0);
+  Alcotest.(check bool) "h1 not critical" false (Dataflow.critical df 2);
+  Alcotest.(check bool) "critical edge" true (Dataflow.critical_edge df 0 1);
+  let s = Dataflow.summary df in
+  Alcotest.(check int) "total slack" 1 s.Dataflow.total_slack
+
+let test_circuit_of_order_validation () =
+  let dag =
+    Commute.build (Circuit.of_gates 2 [ Gate.H 0; Gate.H 0; Gate.H 1 ])
+  in
+  (* h1 commutes with everything: any position is a valid extension *)
+  let r = Commute.circuit_of_order dag [ 2; 0; 1 ] in
+  Alcotest.(check int) "length preserved" 3 (Circuit.length r);
+  Alcotest.check_raises "dependency violation rejected"
+    (Invalid_argument
+       "Commute.circuit_of_order: order places gate 1 before its dependency 0")
+    (fun () -> ignore (Commute.circuit_of_order dag [ 1; 0; 2 ]));
+  Alcotest.check_raises "non-permutation rejected"
+    (Invalid_argument "Commute.circuit_of_order: not a permutation of node ids")
+    (fun () -> ignore (Commute.circuit_of_order dag [ 0; 0; 2 ]))
+
+(* --- qcheck: schedule-validity oracle ------------------------------ *)
+
+(* Any topological order of the commutation DAG must denote the same
+   unitary: checked by the phase-polynomial canonicalizer on every
+   draw, and cross-checked against the statevector (the circuits are
+   <= 10 qubits by construction). *)
+let prop_reorder_oracle =
+  QCheck.Test.make
+    ~name:"random linear extensions are phase-poly and statevector equal"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_linear rng n 25 in
+      let dag = Commute.build c in
+      let order = Commute.random_linear_extension rng dag in
+      let r = Commute.circuit_of_order dag order in
+      (match Phase_poly.equal_up_to_global_phase c r with
+      | Phase_poly.Equivalent -> true
+      | v ->
+        QCheck.Test.fail_reportf "reorder not equivalent: %s"
+          (Phase_poly.verdict_to_string v))
+      && statevector_equal rng c r)
+
+(* The depth chain the module documents, on circuits with measures and
+   a barrier fence thrown in. *)
+let prop_lower_bound_chain =
+  QCheck.Test.make
+    ~name:"lower_bound <= asap_depth <= measured depth" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let base = random_linear rng n 30 in
+      let c =
+        Circuit.of_gates n
+          (Circuit.gates base
+          @ (Gate.Barrier :: List.init n (fun q -> Gate.Measure q)))
+      in
+      let s = Dataflow.analyze c in
+      s.Dataflow.lower_bound <= s.Dataflow.asap_depth
+      && s.Dataflow.asap_depth <= s.Dataflow.measured_depth
+      && s.Dataflow.measured_depth = Layering.depth c)
+
+(* 20-qubit ER(0.5) on calibrated tokyo: every one of the 7 policies
+   produces an artifact whose measured depth respects the
+   policy-independent commutation lower bound. *)
+let test_20q_static_bound_all_policies () =
+  let device = Differential.device_of_topology "tokyo" in
+  let rng = Rng.create 21 in
+  let graph = Generators.erdos_renyi rng ~n:20 ~p:0.5 in
+  let problem = Problem.of_maxcut graph in
+  let params = Ansatz.params_p1 ~gamma:0.7 ~beta:0.4 in
+  List.iter
+    (fun strategy ->
+      let options =
+        { Compile.default_options with seed = 21; analyze = true }
+      in
+      let r = Compile.compile ~options ~strategy device problem params in
+      let name = Compile.strategy_name strategy in
+      match r.Compile.static with
+      | None -> Alcotest.fail (name ^ ": analyze requested, no static record")
+      | Some s ->
+        Alcotest.(check bool) (name ^ ": positive bound") true
+          (s.Dataflow.lower_bound > 0);
+        Alcotest.(check bool) (name ^ ": lower bound <= depth") true
+          (s.Dataflow.lower_bound <= r.Compile.metrics.Metrics.depth);
+        Alcotest.(check int) (name ^ ": measured = metrics depth")
+          r.Compile.metrics.Metrics.depth s.Dataflow.measured_depth;
+        Alcotest.(check bool) (name ^ ": analyze phase recorded") true
+          (List.exists
+             (fun pt -> pt.Compile.phase = "analyze")
+             r.Compile.phase_times))
+    Differential.default_strategies
 
 let test_clean_compiled_circuit_is_quiet () =
   (* a healthy compiled-and-optimized circuit never reports an ERROR *)
@@ -523,6 +782,20 @@ let suite =
     ("QL006 swap sandwich", `Quick, test_ql006_swap_sandwich);
     ("QL007 depth budget", `Quick, test_ql007_depth_budget);
     ("QL008 success probability", `Quick, test_ql008_success_probability);
+    ("QL009 critical swap", `Quick, test_ql009_critical_swap);
+    ("QL010 missed packing", `Quick, test_ql010_missed_packing);
+    ("QL011 measure delay", `Quick, test_ql011_measure_delay);
+    ("QL012 commuting redundancy", `Quick, test_ql012_commuting_redundancy);
+    ("QL013 depth above bound", `Quick, test_ql013_depth_above_bound);
+    ("commute transitive reduction", `Quick, test_commute_transitive_reduction);
+    ("commute cost layer edge-free", `Quick, test_commute_cost_layer_edge_free);
+    ("dataflow slack and critical path", `Quick,
+     test_dataflow_slack_and_critical);
+    ("circuit_of_order validation", `Quick, test_circuit_of_order_validation);
+    QCheck_alcotest.to_alcotest prop_reorder_oracle;
+    QCheck_alcotest.to_alcotest prop_lower_bound_chain;
+    ("20-qubit static bound, all policies", `Quick,
+     test_20q_static_bound_all_policies);
     ("clean compile lints quiet", `Quick, test_clean_compiled_circuit_is_quiet);
     ("lint exit codes", `Quick, test_exit_codes);
     ("severity order and names", `Quick, test_severity_order_and_names);

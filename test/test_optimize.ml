@@ -110,6 +110,63 @@ let test_diagonal_commute_merge () =
   in
   Alcotest.(check int) "h blocks" 3 (Circuit.length blocked)
 
+let test_cancel_through_commuting () =
+  (* CNOT; RZ(control); CNOT: the rz is diagonal on the cnot's control,
+     so the pass reaches through it and the cnots cancel at distance *)
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 2
+         [ Gate.Cnot (0, 1); Gate.Rz (0, 0.5); Gate.Cnot (0, 1) ])
+  in
+  (match Circuit.gates c with
+  | [ Gate.Rz (0, a) ] -> Alcotest.(check (float 1e-12)) "rz kept" 0.5 a
+  | _ -> Alcotest.fail "expected the cnots to cancel through the rz");
+  (* X on the target commutes with CNOT too *)
+  let x =
+    Optimize.circuit
+      (Circuit.of_gates 2 [ Gate.Cnot (0, 1); Gate.X 1; Gate.Cnot (0, 1) ])
+  in
+  (match Circuit.gates x with
+  | [ Gate.X 1 ] -> ()
+  | _ -> Alcotest.fail "expected the cnots to cancel through the x");
+  (* RZ on the *target* anti-commutes with the CNOT: nothing moves *)
+  let blocked =
+    Optimize.circuit
+      (Circuit.of_gates 2
+         [ Gate.Cnot (0, 1); Gate.Rz (1, 0.5); Gate.Cnot (0, 1) ])
+  in
+  Alcotest.(check int) "target rz blocks" 3 (Circuit.length blocked)
+
+let test_merge_through_commuting () =
+  (* the two control-side rotations merge through the cnot *)
+  let c =
+    Optimize.circuit
+      (Circuit.of_gates 2
+         [ Gate.Rz (0, 0.3); Gate.Cnot (0, 1); Gate.Rz (0, 0.4) ])
+  in
+  Alcotest.(check int) "merged" 2 (Circuit.length c);
+  match
+    List.filter_map
+      (function Gate.Rz (0, a) -> Some a | _ -> None)
+      (Circuit.gates c)
+  with
+  | [ a ] -> Alcotest.(check (float 1e-12)) "rz sum" 0.7 a
+  | _ -> Alcotest.fail "expected exactly one rz on qubit 0"
+
+let test_redundancies_through_commuting_flag () =
+  (* the legacy notion (QL005) cannot see through the cnot's control;
+     the full commuting-aware notion (QL012) can *)
+  let c =
+    Circuit.of_gates 2
+      [ Gate.Cnot (0, 1); Gate.Rz (0, 0.5); Gate.Cnot (0, 1) ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "plain notion blind" []
+    (Optimize.redundancies ~through_commuting:false c);
+  Alcotest.(check (list (pair int int)))
+    "commuting notion sees the pair" [ (0, 2) ]
+    (Optimize.redundancies c)
+
 let test_redundancies_report () =
   let c =
     Circuit.of_gates 2
@@ -191,6 +248,41 @@ let prop_redundancies_empty_on_fixpoint =
     (fun (seed, n) ->
       let rng = Rng.create seed in
       Optimize.redundancies (Optimize.circuit (random_circuit rng n 35)) = [])
+
+(* Linear-only gates so the phase-polynomial oracle is always
+   conclusive: the commuting look-through must preserve the canonical
+   form exactly, on registers too big for the statevector. *)
+let random_linear_circuit rng n len =
+  let other a = (a + 1 + Rng.int rng (n - 1)) mod n in
+  Circuit.of_gates n
+    (List.init len (fun _ ->
+         match Rng.int rng 6 with
+         | 0 -> Gate.X (Rng.int rng n)
+         | 1 -> Gate.Z (Rng.int rng n)
+         | 2 -> Gate.Rz (Rng.int rng n, Rng.float rng 6.2 -. 3.1)
+         | 3 ->
+           let a = Rng.int rng n in
+           Gate.Cnot (a, other a)
+         | 4 ->
+           let a = Rng.int rng n in
+           Gate.Cphase (a, other a, Rng.float rng 6.2)
+         | _ -> Gate.Phase (Rng.int rng n, Rng.float rng 6.2 -. 3.1)))
+
+let prop_optimize_phase_poly_equivalent =
+  QCheck.Test.make
+    ~name:"peephole output is phase-polynomial equivalent" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let c = random_linear_circuit rng n 30 in
+      match
+        Qaoa_analysis.Phase_poly.equal_up_to_global_phase c
+          (Optimize.circuit c)
+      with
+      | Qaoa_analysis.Phase_poly.Equivalent -> true
+      | v ->
+        QCheck.Test.fail_reportf "optimized circuit diverged: %s"
+          (Qaoa_analysis.Phase_poly.verdict_to_string v))
 
 (* --- Dag --- *)
 
@@ -309,6 +401,10 @@ let suite =
     ("measure blocks", `Quick, test_measure_blocks);
     ("chain cancellation", `Quick, test_chain_cancellation);
     ("diagonal commute merge", `Quick, test_diagonal_commute_merge);
+    ("cancel through commuting", `Quick, test_cancel_through_commuting);
+    ("merge through commuting", `Quick, test_merge_through_commuting);
+    ("redundancies through_commuting flag", `Quick,
+     test_redundancies_through_commuting_flag);
     ("redundancies report", `Quick, test_redundancies_report);
     ("swap+cphase lowering cancels", `Quick, test_swap_cphase_lowering_cancels);
     ("dag commutes relation", `Quick, test_commutes_relation);
@@ -320,6 +416,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_optimize_preserves_semantics;
     QCheck_alcotest.to_alcotest prop_optimize_idempotent;
     QCheck_alcotest.to_alcotest prop_redundancies_empty_on_fixpoint;
+    QCheck_alcotest.to_alcotest prop_optimize_phase_poly_equivalent;
     QCheck_alcotest.to_alcotest prop_dag_reorder_sound;
     QCheck_alcotest.to_alcotest prop_dag_depth_bound;
   ]

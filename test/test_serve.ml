@@ -333,6 +333,51 @@ let member_exn name json =
   | Some v -> v
   | None -> Alcotest.failf "response lacks %S" name
 
+(* "analyze": true attaches the static commutation-DAG record on both
+   the compile and the qasm-route paths, its internal depth chain holds,
+   and cached hits replay it byte-identically (analyze is part of the
+   fingerprint, so with/without variants never alias). *)
+let test_analyze_attaches_static_record () =
+  let lines =
+    [
+      {|{"id":"s1","graph":{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]},"policy":"ic","analyze":true}|};
+      {|{"id":"s2","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];","analyze":true}|};
+    ]
+  in
+  let fresh, _ = Serve.run_lines (config ()) lines in
+  Alcotest.(check int) "both served" 2 (List.length fresh);
+  List.iter
+    (fun line ->
+      let json = Json.of_string line in
+      let static = member_exn "static" json in
+      let geti name =
+        match Json.member name static with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.failf "static lacks integer %S" name
+      in
+      let lb = geti "lower_bound" in
+      Alcotest.(check bool) "depth chain holds" true
+        (0 < lb
+        && lb <= geti "asap_depth"
+        && geti "asap_depth" <= geti "measured_depth"))
+    fresh;
+  let cache = Cache.create ~capacity:16 () in
+  let cfg = config ~cache () in
+  let first, _ = Serve.run_lines cfg lines in
+  let second, stats = Serve.run_lines cfg lines in
+  Alcotest.(check (list string)) "cold cached = fresh" fresh first;
+  Alcotest.(check (list string)) "warm cached = fresh" fresh second;
+  (match stats.Serve.cache_stats with
+  | Some s -> Alcotest.(check bool) "warm run hit" true (s.Cache.hits >= 2)
+  | None -> Alcotest.fail "cache stats missing");
+  (* the same request without analyze keys differently *)
+  let strip = {|{"id":"s1","graph":{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]},"policy":"ic"}|} in
+  match (Request.of_line (List.nth lines 0), Request.of_line strip) with
+  | Ok with_a, Ok without ->
+    Alcotest.(check bool) "distinct cache keys" false
+      (Request.cache_key with_a = Request.cache_key without)
+  | _ -> Alcotest.fail "request parse failed"
+
 let test_malformed_requests_are_structured_errors () =
   let lines =
     [
@@ -969,6 +1014,9 @@ let suite =
     ("cache lookup taxonomy balances", `Quick, test_cache_lookup_taxonomy);
     ("n-domain determinism", `Slow, test_ndomain_determinism);
     ("cache hits are byte-identical", `Slow, test_cache_hit_byte_equality);
+    ( "analyze attaches a cached static record",
+      `Quick,
+      test_analyze_attaches_static_record );
     ( "malformed requests are structured errors",
       `Quick,
       test_malformed_requests_are_structured_errors );
